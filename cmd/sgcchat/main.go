@@ -1,0 +1,199 @@
+// Command sgcchat is an interactive secure group chat: several chat users
+// run inside one process on a local daemon cluster, and stdin lines are
+// multicast encrypted to the group. It demonstrates the library driving a
+// real interactive application and doubles as a manual test tool.
+//
+// Usage:
+//
+//	sgcchat -users alice,bob -group lobby
+//
+// Commands at the prompt:
+//
+//	/as <user>       switch the sending user
+//	/join <user>     add a user to the group
+//	/leave <user>    remove a user from the group
+//	/refresh         rotate the group key
+//	/state           print membership and epoch
+//	/quit            exit
+//
+// Anything else is sent to the group as an encrypted message.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/securespread"
+)
+
+func main() {
+	users := flag.String("users", "alice,bob", "comma-separated initial users")
+	group := flag.String("group", "lobby", "group name")
+	proto := flag.String("proto", securespread.ProtoCliques, "key agreement protocol (cliques|ckd)")
+	suite := flag.String("suite", securespread.SuiteBlowfish, "cipher suite")
+	flag.Parse()
+
+	if err := run(strings.Split(*users, ","), *group, *proto, *suite); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type chat struct {
+	cluster  *securespread.Cluster
+	group    string
+	proto    string
+	suite    string
+	sessions map[string]*securespread.Session
+	next     int
+}
+
+func run(users []string, group, proto, suite string) error {
+	cluster, err := securespread.NewLocalCluster(3)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	c := &chat{
+		cluster:  cluster,
+		group:    group,
+		proto:    proto,
+		suite:    suite,
+		sessions: make(map[string]*securespread.Session),
+	}
+	for _, u := range users {
+		if err := c.addUser(strings.TrimSpace(u)); err != nil {
+			return err
+		}
+	}
+	if len(c.sessions) == 0 {
+		return fmt.Errorf("no users")
+	}
+	current := strings.TrimSpace(users[0])
+	fmt.Printf("secure chat in %q (%s, %s). /help for commands.\n", group, proto, suite)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("%s> ", current)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "/quit":
+			return nil
+		case line == "/help":
+			fmt.Println("/as <user> | /join <user> | /leave <user> | /refresh | /state | /quit")
+		case strings.HasPrefix(line, "/as "):
+			u := strings.TrimSpace(strings.TrimPrefix(line, "/as "))
+			if _, ok := c.sessions[u]; !ok {
+				fmt.Printf("no such user %q\n", u)
+			} else {
+				current = u
+			}
+		case strings.HasPrefix(line, "/join "):
+			u := strings.TrimSpace(strings.TrimPrefix(line, "/join "))
+			if err := c.addUser(u); err != nil {
+				fmt.Println("join:", err)
+			}
+		case strings.HasPrefix(line, "/leave "):
+			u := strings.TrimSpace(strings.TrimPrefix(line, "/leave "))
+			s, ok := c.sessions[u]
+			if !ok {
+				fmt.Printf("no such user %q\n", u)
+				break
+			}
+			if err := s.Leave(c.group); err != nil {
+				fmt.Println("leave:", err)
+				break
+			}
+			delete(c.sessions, u)
+			if current == u {
+				for name := range c.sessions {
+					current = name
+					break
+				}
+			}
+		case line == "/refresh":
+			if err := c.sessions[current].KeyRefresh(c.group); err != nil {
+				fmt.Println("refresh:", err)
+			}
+		case line == "/state":
+			members, epoch, secured := c.sessions[current].GroupState(c.group)
+			fmt.Printf("members=%v epoch=%d secured=%v\n", members, epoch, secured)
+		default:
+			if err := c.sessions[current].Multicast(c.group, []byte(line)); err != nil {
+				fmt.Println("send:", err)
+			}
+		}
+		// Drain a short window of events so chat output interleaves
+		// naturally with the prompt.
+		c.drain(200 * time.Millisecond)
+		fmt.Printf("%s> ", current)
+	}
+	return sc.Err()
+}
+
+// addUser connects a new session on a round-robin daemon and joins it to
+// the group, waiting until it is secured.
+func (c *chat) addUser(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty user name")
+	}
+	if _, dup := c.sessions[name]; dup {
+		return fmt.Errorf("user %q already present", name)
+	}
+	d := c.cluster.Daemons[c.next%len(c.cluster.Daemons)]
+	c.next++
+	s, err := securespread.Connect(d, name)
+	if err != nil {
+		return err
+	}
+	if err := s.JoinWith(c.group, c.proto, c.suite); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		ev, ok := s.Receive(time.Until(deadline))
+		if !ok {
+			break
+		}
+		if v, isView := ev.(securespread.SecureView); isView {
+			fmt.Printf("* %s joined: members=%v epoch=%d\n", name, v.Members, v.Epoch)
+			c.sessions[name] = s
+			return nil
+		}
+	}
+	return fmt.Errorf("user %q never secured", name)
+}
+
+// drain prints pending events from every session for a short interval.
+func (c *chat) drain(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		idle := true
+		for name, s := range c.sessions {
+			ev, ok := s.Receive(5 * time.Millisecond)
+			if !ok || ev == nil {
+				continue
+			}
+			idle = false
+			switch e := ev.(type) {
+			case securespread.Message:
+				fmt.Printf("[%s sees] %s: %s\n", name, e.Sender, e.Data)
+			case securespread.SecureView:
+				fmt.Printf("[%s sees] view: members=%v epoch=%d\n", name, e.Members, e.Epoch)
+			case securespread.SelfLeave:
+				fmt.Printf("[%s sees] left group\n", name)
+			case securespread.Warning:
+				fmt.Printf("[%s sees] warning: %v\n", name, e.Err)
+			}
+		}
+		if idle {
+			return
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command spreadd runs a standalone group communication daemon over TCP,
+// like the Spread daemon the paper's clients connect to. Daemons are
+// configured with a static segment file listing every daemon's name and
+// listen address, one per line:
+//
+//	daemon1 10.0.0.1:4803
+//	daemon2 10.0.0.2:4803
+//	daemon3 10.0.0.3:4803
+//
+// Start one daemon per machine:
+//
+//	spreadd -name daemon1 -config segment.conf
+//
+// The daemon prints view changes as the overlay membership evolves. (The
+// in-process client API attaches within the same process; this binary
+// exists to exercise and observe the daemon overlay itself.)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/spread"
+	"repro/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "", "this daemon's name (must appear in the config)")
+	config := flag.String("config", "", "segment configuration file")
+	heartbeat := flag.Duration("heartbeat", 20*time.Millisecond, "heartbeat interval")
+	clientListen := flag.String("client-listen", "", "optional host:port to serve remote clients on")
+	flag.Parse()
+
+	if err := run(*name, *config, *heartbeat, *clientListen); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(name, config string, heartbeat time.Duration, clientListen string) error {
+	if name == "" || config == "" {
+		return fmt.Errorf("both -name and -config are required")
+	}
+	addrs, err := parseConfig(config)
+	if err != nil {
+		return err
+	}
+	if _, ok := addrs[name]; !ok {
+		return fmt.Errorf("daemon %q not in configuration %s", name, config)
+	}
+
+	net := transport.NewTCPNetwork(addrs)
+	peers := make([]string, 0, len(addrs))
+	for p := range addrs {
+		peers = append(peers, p)
+	}
+	d, err := spread.NewDaemon(name, peers, net, spread.Config{Heartbeat: heartbeat})
+	if err != nil {
+		return err
+	}
+	log.Printf("daemon %s listening on %s with peers %v", name, addrs[name], peers)
+	if clientListen != "" {
+		ln, err := d.ListenClients(clientListen)
+		if err != nil {
+			d.Stop()
+			return err
+		}
+		log.Printf("daemon %s serving remote clients on %s", name, ln.Addr())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	// Log view changes until interrupted.
+	last := spread.ViewID{}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			log.Printf("daemon %s shutting down", name)
+			d.Stop()
+			return nil
+		case <-ticker.C:
+			v := d.CurrentView()
+			if v.ID != last {
+				last = v.ID
+				log.Printf("view %s: members %v", v.ID, v.Members)
+			}
+		}
+	}
+}
+
+func parseConfig(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	addrs := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"name host:port\", got %q", path, line, text)
+		}
+		addrs[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%s: no daemons configured", path)
+	}
+	return addrs, nil
+}

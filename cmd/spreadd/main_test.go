@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "segment.conf")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseConfig(t *testing.T) {
+	path := writeConfig(t, `
+# comment line
+daemon1 10.0.0.1:4803
+
+daemon2 10.0.0.2:4803
+daemon3 127.0.0.1:4805
+`)
+	addrs, err := parseConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"daemon1": "10.0.0.1:4803",
+		"daemon2": "10.0.0.2:4803",
+		"daemon3": "127.0.0.1:4805",
+	}
+	if len(addrs) != len(want) {
+		t.Fatalf("got %v", addrs)
+	}
+	for k, v := range want {
+		if addrs[k] != v {
+			t.Errorf("%s = %q, want %q", k, addrs[k], v)
+		}
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	if _, err := parseConfig(filepath.Join(t.TempDir(), "missing.conf")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeConfig(t, "daemon1 addr extra-field\n")
+	if _, err := parseConfig(bad); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	empty := writeConfig(t, "# only comments\n")
+	if _, err := parseConfig(empty); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", 0, ""); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	cfg := writeConfig(t, "other 127.0.0.1:4803\n")
+	if err := run("me", cfg, 0, ""); err == nil {
+		t.Fatal("daemon missing from config accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command quickstart is the smallest end-to-end use of the secure group
+// communication library: three members on a three-daemon cluster (the
+// paper's testbed topology) join a group, exchange encrypted messages, and
+// observe a re-key when one of them leaves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/securespread"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Three daemons over the in-memory transport, like the paper's three
+	// machines.
+	cluster, err := securespread.NewLocalCluster(3)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	// Three members, one per daemon. Joins use the defaults: Cliques
+	// (distributed) key agreement with Blowfish-CBC bulk encryption.
+	users := []string{"alice", "bob", "carol"}
+	sessions := make([]*securespread.Session, len(users))
+	for i, user := range users {
+		s, err := securespread.Connect(cluster.Daemons[i], user)
+		if err != nil {
+			return err
+		}
+		sessions[i] = s
+		if err := s.Join("lobby"); err != nil {
+			return err
+		}
+		// Wait until everyone currently in the group has re-keyed to
+		// include the newcomer.
+		for j := 0; j <= i; j++ {
+			v, err := waitSecure(sessions[j], i+1)
+			if err != nil {
+				return err
+			}
+			if j == i {
+				log.Printf("%s joined: members=%v epoch=%d controller=%s",
+					user, v.Members, v.Epoch, v.Controller)
+			}
+		}
+	}
+
+	// Encrypted group messaging: everything on the wire is
+	// Blowfish-encrypted and HMAC-authenticated under the agreed secret.
+	if err := sessions[0].Multicast("lobby", []byte("hello, secure group!")); err != nil {
+		return err
+	}
+	for _, s := range sessions {
+		m, err := waitMessage(s)
+		if err != nil {
+			return err
+		}
+		log.Printf("%s received from %s: %q", s.Name(), m.Sender, m.Data)
+	}
+
+	// bob leaves: the survivors re-key so bob cannot read anything sent
+	// afterwards (key independence).
+	if err := sessions[1].Leave("lobby"); err != nil {
+		return err
+	}
+	for _, i := range []int{0, 2} {
+		v, err := waitSecure(sessions[i], 2)
+		if err != nil {
+			return err
+		}
+		log.Printf("%s re-keyed after leave: members=%v epoch=%d",
+			sessions[i].Name(), v.Members, v.Epoch)
+	}
+	if err := sessions[2].Multicast("lobby", []byte("bob cannot read this")); err != nil {
+		return err
+	}
+	m, err := waitMessage(sessions[0])
+	if err != nil {
+		return err
+	}
+	log.Printf("%s received post-leave message: %q", sessions[0].Name(), m.Data)
+	return nil
+}
+
+// waitSecure consumes a session's events until the group is secured with n
+// members.
+func waitSecure(s *securespread.Session, n int) (securespread.SecureView, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ev, ok := s.Receive(time.Until(deadline))
+		if !ok {
+			break
+		}
+		if v, isView := ev.(securespread.SecureView); isView && len(v.Members) == n {
+			return v, nil
+		}
+	}
+	return securespread.SecureView{}, fmt.Errorf("%s: timed out waiting for %d-member secure view", s.Name(), n)
+}
+
+// waitMessage consumes events until a decrypted message arrives.
+func waitMessage(s *securespread.Session) (securespread.Message, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ev, ok := s.Receive(time.Until(deadline))
+		if !ok {
+			break
+		}
+		if m, isMsg := ev.(securespread.Message); isMsg {
+			return m, nil
+		}
+	}
+	return securespread.Message{}, fmt.Errorf("%s: timed out waiting for message", s.Name())
+}

@@ -1,0 +1,137 @@
+// Command rekey demonstrates the key management policies of the secure
+// group layer: explicit key refresh (the CLQ_API REFRESH operation,
+// forwarded to the floating controller when requested by another member)
+// and the key-epoch progression that gives the system its key independence
+// and perfect forward secrecy — every membership change and every refresh
+// installs a secret that past and future configurations cannot derive.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/securespread"
+)
+
+const group = "vault"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := securespread.NewLocalCluster(3)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	users := []string{"alpha", "beta", "gamma"}
+	sessions := make([]*securespread.Session, len(users))
+	for i, u := range users {
+		s, err := securespread.Connect(cluster.Daemons[i], u)
+		if err != nil {
+			return err
+		}
+		sessions[i] = s
+		if err := s.Join(group); err != nil {
+			return err
+		}
+		for j := 0; j <= i; j++ {
+			if _, err := waitView(sessions[j], i+1, 0); err != nil {
+				return err
+			}
+		}
+	}
+	_, epoch, _ := sessions[0].GroupState(group)
+	log.Printf("group established at epoch %d", epoch)
+
+	// Explicit refresh requested by a NON-controller: the request is
+	// forwarded to the controller (the newest member under Cliques), who
+	// re-keys the whole group.
+	log.Printf("alpha requests a key refresh (controller is gamma)")
+	if err := sessions[0].KeyRefresh(group); err != nil {
+		return err
+	}
+	for _, s := range sessions {
+		v, err := waitView(s, 3, epoch+1)
+		if err != nil {
+			return err
+		}
+		if s == sessions[0] {
+			log.Printf("refreshed to epoch %d (controller %s)", v.Epoch, v.Controller)
+		}
+	}
+
+	// Key independence across a leave: gamma departs with knowledge of
+	// epoch e; the survivors move to e+1, which gamma's state cannot
+	// produce — nothing encrypted from now on is readable by gamma.
+	_, before, _ := sessions[0].GroupState(group)
+	log.Printf("gamma leaves at epoch %d", before)
+	if err := sessions[2].Leave(group); err != nil {
+		return err
+	}
+	for _, s := range sessions[:2] {
+		v, err := waitView(s, 2, before+1)
+		if err != nil {
+			return err
+		}
+		if s == sessions[0] {
+			log.Printf("survivors re-keyed to epoch %d", v.Epoch)
+		}
+	}
+	if err := sessions[0].Multicast(group, []byte("post-departure secret")); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ev, ok := sessions[1].Receive(time.Until(deadline))
+		if !ok {
+			return fmt.Errorf("no message before deadline")
+		}
+		if m, isMsg := ev.(securespread.Message); isMsg {
+			log.Printf("beta still decrypts fine: %q", m.Data)
+			break
+		}
+	}
+
+	// Periodic refresh: a fresh pair of sessions with WithAutoRefresh
+	// would rotate keys on a timer; here we show three manual rotations
+	// back to back and print the epoch history.
+	log.Printf("rotating the key three more times")
+	for i := 0; i < 3; i++ {
+		_, e, _ := sessions[0].GroupState(group)
+		if err := sessions[1].KeyRefresh(group); err != nil {
+			return err
+		}
+		for _, s := range sessions[:2] {
+			if _, err := waitView(s, 2, e+1); err != nil {
+				return err
+			}
+		}
+		_, e2, _ := sessions[0].GroupState(group)
+		log.Printf("  rotation %d: epoch %d -> %d", i+1, e, e2)
+	}
+	return nil
+}
+
+// waitView waits until the session reports a secure view with n members
+// and epoch >= minEpoch.
+func waitView(s *securespread.Session, n int, minEpoch uint64) (securespread.SecureView, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ev, ok := s.Receive(time.Until(deadline))
+		if !ok {
+			break
+		}
+		if v, isView := ev.(securespread.SecureView); isView && len(v.Members) == n && v.Epoch >= minEpoch {
+			return v, nil
+		}
+	}
+	return securespread.SecureView{}, fmt.Errorf("%s: no %d-member view at epoch>=%d", s.Name(), n, minEpoch)
+}

@@ -1,0 +1,224 @@
+// Package bench implements the paper's experiments: the exponentiation
+// accounting of Tables 2-4 (regenerated from instrumented protocol runs,
+// not re-derived formulas) and the timing measurements of Figures 3-4 on
+// the paper's three-daemon topology.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dh"
+	"repro/internal/kga"
+	"repro/internal/kga/kgatest"
+)
+
+// runTB adapts kgatest's TB interface for use outside `go test`: a Fatalf
+// records the error and unwinds via panic, which the experiment entry
+// points recover.
+type runTB struct {
+	err *error
+}
+
+type benchAbort struct{}
+
+func newRunTB(err *error) *runTB { return &runTB{err: err} }
+
+func (r *runTB) Helper() {}
+
+func (r *runTB) Fatalf(format string, args ...any) {
+	*r.err = fmt.Errorf(format, args...)
+	panic(benchAbort{})
+}
+
+// recoverAbort converts a runTB unwind back into an error return.
+func recoverAbort(failErr *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(benchAbort); ok {
+			return // *failErr already set
+		}
+		panic(r)
+	}
+}
+
+// RoleCounts is the exponentiation tally for one member role in one
+// operation — one column block of Table 2 or 3.
+type RoleCounts struct {
+	Role  string
+	Total int
+	ByOp  map[string]int
+}
+
+// OpCounts is the accounting for one (protocol, operation, group size)
+// cell, with the paper's formula value for comparison.
+type OpCounts struct {
+	Protocol  string
+	Operation string
+	N         int // group size including the joining/leaving member
+	Roles     []RoleCounts
+	// SerialTotal is the number of exponentiations on the serial path
+	// (Table 4): the roles that cannot overlap.
+	SerialTotal int
+	// PaperSerial is the closed-form count the paper reports.
+	PaperSerial int
+}
+
+// names yields deterministic member names.
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("m%02d", i)
+	}
+	return out
+}
+
+// JoinCounts measures a join into a group of n-1 (n members after), for
+// protocol "cliques" or "ckd", returning per-role exponentiation counts.
+func JoinCounts(proto string, n int) (OpCounts, error) {
+	if n < 2 {
+		return OpCounts{}, fmt.Errorf("bench: join needs n >= 2")
+	}
+	var failErr error
+	defer recoverAbort(&failErr)
+	net := kgatest.NewNet(newRunTB(&failErr), proto, dh.Group512)
+	ms := names(n)
+	net.Grow(ms[:n-1])
+	net.Add(ms[n-1])
+	net.ResetCounters()
+	net.MustRun(kga.Event{Type: kga.EvJoin, Members: ms, Joined: ms[n-1:]}, ms)
+	if failErr != nil {
+		return OpCounts{}, failErr
+	}
+
+	var ctrlName string
+	switch proto {
+	case "cliques":
+		ctrlName = ms[n-2] // old controller: newest existing member
+	default:
+		ctrlName = ms[0] // CKD controller: oldest member
+	}
+	ctrl := net.Counters[ctrlName]
+	joiner := net.Counters[ms[n-1]]
+
+	out := OpCounts{
+		Protocol:  proto,
+		Operation: "join",
+		N:         n,
+		Roles: []RoleCounts{
+			{Role: "controller", Total: ctrl.Total(), ByOp: ctrl.Snapshot()},
+			{Role: "new member", Total: joiner.Total(), ByOp: joiner.Snapshot()},
+		},
+		SerialTotal: ctrl.Total() + joiner.Total(),
+	}
+	switch proto {
+	case "cliques":
+		out.PaperSerial = 3 * n // Table 4: (n+1) + (2n-1)
+	default:
+		out.PaperSerial = n + 6 // (n+2) + 4
+	}
+	return out, nil
+}
+
+// LeaveCounts measures a leave from a group of n (n-1 members after). For
+// CKD, controllerLeaves selects the expensive re-handshake case of
+// Table 3; for Cliques the acting controller is always the newest
+// survivor, so the flag selects whether the departed member was the
+// controller (the counts match either way, per Table 4).
+func LeaveCounts(proto string, n int, controllerLeaves bool) (OpCounts, error) {
+	if n < 2 {
+		return OpCounts{}, fmt.Errorf("bench: leave needs n >= 2")
+	}
+	var failErr error
+	defer recoverAbort(&failErr)
+	net := kgatest.NewNet(newRunTB(&failErr), proto, dh.Group512)
+	ms := names(n)
+	net.Grow(ms)
+	net.ResetCounters()
+
+	var leaver string
+	var survivors []string
+	var actingCtrl string
+	if proto == "cliques" {
+		if controllerLeaves {
+			leaver = ms[n-1] // the controller (newest)
+			survivors = ms[:n-1]
+			actingCtrl = ms[n-2]
+		} else {
+			leaver = ms[1]
+			survivors = append([]string{ms[0]}, ms[2:]...)
+			actingCtrl = ms[n-1]
+		}
+	} else {
+		if controllerLeaves {
+			leaver = ms[0] // the controller (oldest)
+			survivors = ms[1:]
+			actingCtrl = ms[1]
+		} else {
+			leaver = ms[n-1]
+			survivors = ms[:n-1]
+			actingCtrl = ms[0]
+		}
+	}
+	net.MustRun(kga.Event{Type: kga.EvLeave, Members: survivors, Left: []string{leaver}}, survivors)
+	if failErr != nil {
+		return OpCounts{}, failErr
+	}
+
+	ctrl := net.Counters[actingCtrl]
+	op := "leave"
+	if controllerLeaves {
+		op = "controller leaves"
+	}
+	out := OpCounts{
+		Protocol:  proto,
+		Operation: op,
+		N:         n,
+		Roles: []RoleCounts{
+			{Role: "controller", Total: ctrl.Total(), ByOp: ctrl.Snapshot()},
+		},
+		SerialTotal: ctrl.Total(),
+	}
+	switch {
+	case proto == "cliques":
+		out.PaperSerial = n // Table 4, both leave cases
+	case controllerLeaves:
+		out.PaperSerial = 3*n - 5
+	default:
+		out.PaperSerial = n - 1
+	}
+	return out, nil
+}
+
+// Table4Row aggregates the serial totals for one protocol.
+type Table4Row struct {
+	Protocol                              string
+	N                                     int
+	Join, Leave, CtrlLeave                int
+	PaperJoin, PaperLeave, PaperCtrlLeave int
+}
+
+// Table4 measures the total serial exponentiation counts for both
+// protocols at group size n.
+func Table4(proto string, n int) (Table4Row, error) {
+	j, err := JoinCounts(proto, n)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	l, err := LeaveCounts(proto, n, false)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	cl, err := LeaveCounts(proto, n, true)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	return Table4Row{
+		Protocol:       proto,
+		N:              n,
+		Join:           j.SerialTotal,
+		Leave:          l.SerialTotal,
+		CtrlLeave:      cl.SerialTotal,
+		PaperJoin:      j.PaperSerial,
+		PaperLeave:     l.PaperSerial,
+		PaperCtrlLeave: cl.PaperSerial,
+	}, nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/spread"
+)
+
+// DaemonModelTiming compares the cost of a group membership change under
+// the two security models the paper discusses in Section 5:
+//
+//   - client model: every group membership change runs a key agreement
+//     (measured by MeasureStack);
+//   - daemon model: the daemons keep one daemon-group key, re-keyed only
+//     on daemon membership changes, so a client join/leave costs no
+//     key agreement at all.
+//
+// This function measures the daemon-model side: join/leave view latency on
+// a daemon-keyed cluster with no client-layer security.
+func DaemonModelTiming(n, batch int) (StackTiming, error) {
+	if n < 2 {
+		return StackTiming{}, errors.New("bench: daemon model timing needs n >= 2")
+	}
+	cfg := benchConfig()
+	cfg.DaemonKeying = true
+	cluster, err := spread.NewCluster(3, cfg)
+	if err != nil {
+		return StackTiming{}, err
+	}
+	defer cluster.Stop()
+
+	group := "bench"
+	conns := make([]*flushWatcher, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		fw, err := newFlushWatcher(placeDaemon(cluster, i), fmt.Sprintf("m%03d", i))
+		if err != nil {
+			return StackTiming{}, err
+		}
+		conns = append(conns, fw)
+		if err := fw.f.Join(group); err != nil {
+			return StackTiming{}, err
+		}
+		for _, c := range conns {
+			if err := c.waitCount(i+1, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("grow to %d: %w", i+1, err)
+			}
+		}
+	}
+
+	out := StackTiming{Protocol: "daemon-model", N: n, Batch: batch}
+	for b := 0; b < batch; b++ {
+		fw, err := newFlushWatcher(placeDaemon(cluster, n-1), fmt.Sprintf("joiner%03d", b))
+		if err != nil {
+			return StackTiming{}, err
+		}
+		start := time.Now()
+		if err := fw.f.Join(group); err != nil {
+			return StackTiming{}, err
+		}
+		all := append(append([]*flushWatcher{}, conns...), fw)
+		for _, c := range all {
+			if err := c.waitCount(n, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("join batch %d: %w", b, err)
+			}
+		}
+		out.Join += time.Since(start)
+
+		start = time.Now()
+		if err := fw.f.Leave(group); err != nil {
+			return StackTiming{}, err
+		}
+		for _, c := range conns {
+			if err := c.waitCount(n-1, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("leave batch %d: %w", b, err)
+			}
+		}
+		out.Leave += time.Since(start)
+		if err := fw.f.Disconnect(); err != nil {
+			return StackTiming{}, err
+		}
+	}
+	out.Join /= time.Duration(batch)
+	out.Leave /= time.Duration(batch)
+	return out, nil
+}

@@ -1,0 +1,13 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestThroughputSmoke(t *testing.T) {
+	tp, err := MeasureThroughput("blowfish-cbc", 256, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%+v", tp)
+}

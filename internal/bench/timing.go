@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/flush"
+	"repro/internal/spread"
+	"repro/securespread"
+)
+
+// Paper topology (Section 6): three daemons; two hold a single member
+// each, the third holds all the others.
+func placeDaemon(cluster *spread.Cluster, memberIdx int) *spread.Daemon {
+	switch memberIdx {
+	case 0:
+		return cluster.Daemons[0]
+	case 1:
+		return cluster.Daemons[1]
+	default:
+		return cluster.Daemons[2]
+	}
+}
+
+func benchConfig() spread.Config {
+	return spread.Config{
+		Heartbeat:    5 * time.Millisecond,
+		SuspectAfter: 250 * time.Millisecond,
+	}
+}
+
+// StackTiming is one Figure 3 data point: the total wall-clock time of one
+// join and one leave operation (including all network and flush overhead)
+// at group size n, averaged over Batch operations.
+type StackTiming struct {
+	Protocol string
+	N        int
+	Batch    int
+	Join     time.Duration
+	Leave    time.Duration
+}
+
+// watcher tracks a session's secure views so the harness can wait for
+// membership counts without losing events.
+type watcher struct {
+	s    *securespread.Session
+	mu   sync.Mutex
+	cond *sync.Cond
+	last int // member count of the last secure view
+	dead bool
+}
+
+func watch(s *securespread.Session) *watcher {
+	w := &watcher{s: s}
+	w.cond = sync.NewCond(&w.mu)
+	go func() {
+		for ev := range s.Events() {
+			if v, ok := ev.(securespread.SecureView); ok {
+				w.mu.Lock()
+				w.last = len(v.Members)
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			}
+		}
+		w.mu.Lock()
+		w.dead = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}()
+	return w
+}
+
+// waitCount blocks until the last secure view has exactly n members.
+func (w *watcher) waitCount(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		w.mu.Lock()
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
+	defer timer.Stop()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.last != n && !w.dead {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: %s: timed out waiting for %d-member secure view (have %d)", w.s.Name(), n, w.last)
+		}
+		w.cond.Wait()
+	}
+	if w.dead && w.last != n {
+		return errors.New("bench: session closed while waiting")
+	}
+	return nil
+}
+
+// MeasureStack measures Figure 3's join and leave wall times for the given
+// protocol at group size n (n includes the member that joins/leaves).
+func MeasureStack(proto string, n, batch int) (StackTiming, error) {
+	if n < 2 {
+		return StackTiming{}, errors.New("bench: stack timing needs n >= 2")
+	}
+	cluster, err := spread.NewCluster(3, benchConfig())
+	if err != nil {
+		return StackTiming{}, err
+	}
+	defer cluster.Stop()
+
+	group := "bench"
+	// n-1 standing members; the nth joins and leaves repeatedly.
+	watchers := make([]*watcher, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		s, err := securespread.Connect(placeDaemon(cluster, i), fmt.Sprintf("m%03d", i))
+		if err != nil {
+			return StackTiming{}, err
+		}
+		w := watch(s)
+		watchers = append(watchers, w)
+		if err := s.JoinWith(group, proto, securespread.SuiteBlowfish); err != nil {
+			return StackTiming{}, err
+		}
+		for _, ww := range watchers {
+			if err := ww.waitCount(i+1, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("grow to %d: %w", i+1, err)
+			}
+		}
+	}
+
+	out := StackTiming{Protocol: proto, N: n, Batch: batch}
+	for b := 0; b < batch; b++ {
+		s, err := securespread.Connect(placeDaemon(cluster, n-1), fmt.Sprintf("joiner%03d", b))
+		if err != nil {
+			return StackTiming{}, err
+		}
+		w := watch(s)
+
+		start := time.Now()
+		if err := s.JoinWith(group, proto, securespread.SuiteBlowfish); err != nil {
+			return StackTiming{}, err
+		}
+		all := append(append([]*watcher{}, watchers...), w)
+		for _, ww := range all {
+			if err := ww.waitCount(n, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("join batch %d: %w", b, err)
+			}
+		}
+		out.Join += time.Since(start)
+
+		start = time.Now()
+		if err := s.Leave(group); err != nil {
+			return StackTiming{}, err
+		}
+		for _, ww := range watchers {
+			if err := ww.waitCount(n-1, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("leave batch %d: %w", b, err)
+			}
+		}
+		out.Leave += time.Since(start)
+		if err := s.Disconnect(); err != nil {
+			return StackTiming{}, err
+		}
+	}
+	out.Join /= time.Duration(batch)
+	out.Leave /= time.Duration(batch)
+	return out, nil
+}
+
+// MeasureFlushOnly measures the join/leave view-installation time of the
+// bare flush layer (no security) on the same topology — the "Flush layer"
+// series of Figure 3.
+func MeasureFlushOnly(n, batch int) (StackTiming, error) {
+	if n < 2 {
+		return StackTiming{}, errors.New("bench: flush timing needs n >= 2")
+	}
+	cluster, err := spread.NewCluster(3, benchConfig())
+	if err != nil {
+		return StackTiming{}, err
+	}
+	defer cluster.Stop()
+
+	group := "bench"
+	conns := make([]*flushWatcher, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		fw, err := newFlushWatcher(placeDaemon(cluster, i), fmt.Sprintf("m%03d", i))
+		if err != nil {
+			return StackTiming{}, err
+		}
+		conns = append(conns, fw)
+		if err := fw.f.Join(group); err != nil {
+			return StackTiming{}, err
+		}
+		for _, c := range conns {
+			if err := c.waitCount(i+1, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("grow to %d: %w", i+1, err)
+			}
+		}
+	}
+
+	out := StackTiming{Protocol: "flush-only", N: n, Batch: batch}
+	for b := 0; b < batch; b++ {
+		fw, err := newFlushWatcher(placeDaemon(cluster, n-1), fmt.Sprintf("joiner%03d", b))
+		if err != nil {
+			return StackTiming{}, err
+		}
+
+		start := time.Now()
+		if err := fw.f.Join(group); err != nil {
+			return StackTiming{}, err
+		}
+		all := append(append([]*flushWatcher{}, conns...), fw)
+		for _, c := range all {
+			if err := c.waitCount(n, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("join batch %d: %w", b, err)
+			}
+		}
+		out.Join += time.Since(start)
+
+		start = time.Now()
+		if err := fw.f.Leave(group); err != nil {
+			return StackTiming{}, err
+		}
+		for _, c := range conns {
+			if err := c.waitCount(n-1, 30*time.Second); err != nil {
+				return StackTiming{}, fmt.Errorf("leave batch %d: %w", b, err)
+			}
+		}
+		out.Leave += time.Since(start)
+		if err := fw.f.Disconnect(); err != nil {
+			return StackTiming{}, err
+		}
+	}
+	out.Join /= time.Duration(batch)
+	out.Leave /= time.Duration(batch)
+	return out, nil
+}
+
+// flushWatcher auto-acknowledges flush requests and tracks installed view
+// sizes, emulating an application with no security work.
+type flushWatcher struct {
+	f    *flush.Conn
+	mu   sync.Mutex
+	cond *sync.Cond
+	last int
+	dead bool
+}
+
+func newFlushWatcher(d *spread.Daemon, user string) (*flushWatcher, error) {
+	client, err := d.Connect(user)
+	if err != nil {
+		return nil, err
+	}
+	fw := &flushWatcher{f: flush.Wrap(client)}
+	fw.cond = sync.NewCond(&fw.mu)
+	go func() {
+		for ev := range fw.f.Events() {
+			switch e := ev.(type) {
+			case flush.FlushRequest:
+				_ = fw.f.FlushOK(e.Group)
+			case flush.View:
+				fw.mu.Lock()
+				fw.last = len(e.Info.Members)
+				fw.cond.Broadcast()
+				fw.mu.Unlock()
+			case flush.SelfLeave:
+				fw.mu.Lock()
+				fw.last = 0
+				fw.cond.Broadcast()
+				fw.mu.Unlock()
+			}
+		}
+		fw.mu.Lock()
+		fw.dead = true
+		fw.cond.Broadcast()
+		fw.mu.Unlock()
+	}()
+	return fw, nil
+}
+
+func (fw *flushWatcher) waitCount(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		fw.mu.Lock()
+		fw.cond.Broadcast()
+		fw.mu.Unlock()
+	})
+	defer timer.Stop()
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	for fw.last != n && !fw.dead {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: %s: timed out waiting for %d-member view (have %d)", fw.f.Name(), n, fw.last)
+		}
+		fw.cond.Wait()
+	}
+	if fw.dead && fw.last != n {
+		return errors.New("bench: flush connection closed while waiting")
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package blowfish
+
+import (
+	"bytes"
+	"crypto/cipher"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+var _ cipher.Block = (*Cipher)(nil)
+
+// Eric Young's published Blowfish test vectors (key, plaintext, ciphertext).
+var ecbVectors = []struct {
+	key, pt, ct string
+}{
+	{"0000000000000000", "0000000000000000", "4ef997456198dd78"},
+	{"ffffffffffffffff", "ffffffffffffffff", "51866fd5b85ecb8a"},
+	{"3000000000000000", "1000000000000001", "7d856f9a613063f2"},
+	{"1111111111111111", "1111111111111111", "2466dd878b963c9d"},
+	{"0123456789abcdef", "1111111111111111", "61f9c3802281b096"},
+	{"1111111111111111", "0123456789abcdef", "7d0cc630afda1ec7"},
+	{"0000000000000000", "0000000000000000", "4ef997456198dd78"},
+	{"fedcba9876543210", "0123456789abcdef", "0aceab0fc6a0a28d"},
+	{"7ca110454a1a6e57", "01a1d6d039776742", "59c68245eb05282b"},
+	{"0131d9619dc1376e", "5cd54ca83def57da", "b1b8cc0b250f09a0"},
+	{"07a1133e4a0b2686", "0248d43806f67172", "1730e5778bea1da4"},
+	{"3849674c2602319e", "51454b582ddf440a", "a25e7856cf2651eb"},
+	{"04b915ba43feb5b6", "42fd443059577fa2", "353882b109ce8f1a"},
+	{"0113b970fd34f2ce", "059b5e0851cf143a", "48f4d0884c379918"},
+	{"0170f175468fb5e6", "0756d8e0774761d2", "432193b78951fc98"},
+	{"43297fad38e373fe", "762514b829bf486a", "13f04154d69d1ae5"},
+	{"07a7137045da2a16", "3bdd119049372802", "2eedda93ffd39c79"},
+	{"04689104c2fd3b2f", "26955f6835af609a", "d887e0393c2da6e3"},
+	{"37d06bb516cb7546", "164d5e404f275232", "5f99d04f5b163969"},
+	{"1f08260d1ac2465e", "6b056e18759f5cca", "4a057a3b24d3977b"},
+	{"584023641aba6176", "004bd6ef09176062", "452031c1e4fada8e"},
+	{"025816164629b007", "480d39006ee762f2", "7555ae39f59b87bd"},
+	{"49793ebc79b3258f", "437540c8698f3cfa", "53c55f9cb49fc019"},
+	{"4fb05e1515ab73a7", "072d43a077075292", "7a8e7bfa937e89a3"},
+	{"49e95d6d4ca229bf", "02fe55778117f12a", "cf9c5d7a4986adb5"},
+	{"018310dc409b26d6", "1d9d5c5018f728c2", "d1abb290658bc778"},
+	{"1c587f1c13924fef", "305532286d6f295a", "55cb3774d13ef201"},
+	{"0101010101010101", "0123456789abcdef", "fa34ec4847b268b2"},
+	{"1f1f1f1f0e0e0e0e", "0123456789abcdef", "a790795108ea3cae"},
+	{"e0fee0fef1fef1fe", "0123456789abcdef", "c39e072d9fac631d"},
+	{"0000000000000000", "ffffffffffffffff", "014933e0cdaff6e4"},
+	{"ffffffffffffffff", "0000000000000000", "f21e9a77b71c49bc"},
+	{"0123456789abcdef", "0000000000000000", "245946885754369a"},
+	{"fedcba9876543210", "ffffffffffffffff", "6b5c5a9c5d9e0a5a"},
+}
+
+func TestECBVectors(t *testing.T) {
+	for i, v := range ecbVectors {
+		key, _ := hex.DecodeString(v.key)
+		pt, _ := hex.DecodeString(v.pt)
+		want, _ := hex.DecodeString(v.ct)
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatalf("vector %d: NewCipher: %v", i, err)
+		}
+		got := make([]byte, 8)
+		c.Encrypt(got, pt)
+		if !bytes.Equal(got, want) {
+			t.Errorf("vector %d: encrypt = %x, want %x", i, got, want)
+		}
+		back := make([]byte, 8)
+		c.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("vector %d: decrypt = %x, want %x", i, back, pt)
+		}
+	}
+}
+
+// Variable key-length vectors from Eric Young's set: the same plaintext
+// under prefixes of the 24-byte key.
+func TestVariableKeyLength(t *testing.T) {
+	fullKey, _ := hex.DecodeString("f0e1d2c3b4a5968778695a4b3c2d1e0f00112233445566778899aabbccddeeff")
+	pt, _ := hex.DecodeString("fedcba9876543210")
+	// Eric Young's set-24 vectors index key lengths starting at 1 byte;
+	// lengths below 4 bytes are outside Blowfish's specified key range and
+	// are omitted.
+	want := map[int]string{
+		8:  "e87a244e2cc85e82",
+		9:  "15750e7a4f4ec577",
+		10: "122ba70b3ab64ae0",
+		11: "3a833c9affc537f6",
+		12: "9409da87a90f6bf2",
+		13: "884f80625060b8b4",
+		14: "1f85031c19e11968",
+		15: "79d9373a714ca34f",
+		16: "93142887ee3be15c",
+		17: "03429e838ce2d14b",
+	}
+	for n, ctHex := range want {
+		c, err := NewCipher(fullKey[:n])
+		if err != nil {
+			t.Fatalf("key len %d: %v", n, err)
+		}
+		got := make([]byte, 8)
+		c.Encrypt(got, pt)
+		if hex.EncodeToString(got) != ctHex {
+			t.Errorf("key len %d: got %x, want %s", n, got, ctHex)
+		}
+	}
+}
+
+func TestKeySizeErrors(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 57, 100} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("NewCipher with %d-byte key should fail", n)
+		}
+	}
+	for _, n := range []int{4, 16, 56} {
+		if _, err := NewCipher(make([]byte, n)); err != nil {
+			t.Errorf("NewCipher with %d-byte key: %v", n, err)
+		}
+	}
+}
+
+func TestKeySizeErrorMessage(t *testing.T) {
+	err := KeySizeError(3)
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	c, err := NewCipher([]byte("test key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BlockSize() != 8 {
+		t.Fatalf("BlockSize = %d, want 8", c.BlockSize())
+	}
+}
+
+// Property: decrypt(encrypt(x)) == x for random keys and blocks.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(key [16]byte, block [8]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		enc := make([]byte, 8)
+		c.Encrypt(enc, block[:])
+		dec := make([]byte, 8)
+		c.Decrypt(dec, enc)
+		return bytes.Equal(dec, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: different keys give different ciphertexts for the same block
+// (overwhelming probability).
+func TestKeySeparationProperty(t *testing.T) {
+	f := func(k1, k2 [8]byte, block [8]byte) bool {
+		if k1 == k2 {
+			return true
+		}
+		c1, _ := NewCipher(k1[:])
+		c2, _ := NewCipher(k2[:])
+		e1 := make([]byte, 8)
+		e2 := make([]byte, 8)
+		c1.Encrypt(e1, block[:])
+		c2.Encrypt(e2, block[:])
+		return !bytes.Equal(e1, e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInPlaceEncrypt(t *testing.T) {
+	c, err := NewCipher([]byte("some key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("8 bytes!")
+	orig := append([]byte(nil), buf...)
+	c.Encrypt(buf, buf)
+	if bytes.Equal(buf, orig) {
+		t.Fatal("in-place encrypt did nothing")
+	}
+	c.Decrypt(buf, buf)
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("in-place round trip failed")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c, err := NewCipher([]byte("benchmark key 16"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	b.SetBytes(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}
+
+func BenchmarkKeySchedule(b *testing.B) {
+	key := []byte("benchmark key 16")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCipher(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package blowfish
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: decrypt(encrypt(block)) == block for arbitrary keys.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("16-byte fuzz key"), []byte("8 bytes!"))
+	f.Add([]byte{1, 2, 3, 4}, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, key, block []byte) {
+		if len(key) < 4 || len(key) > 56 || len(block) < 8 {
+			return
+		}
+		block = block[:8]
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := make([]byte, 8)
+		c.Encrypt(enc, block)
+		dec := make([]byte, 8)
+		c.Decrypt(dec, enc)
+		if !bytes.Equal(dec, block) {
+			t.Fatalf("round trip failed for key %x block %x", key, block)
+		}
+	})
+}

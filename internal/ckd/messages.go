@@ -1,0 +1,69 @@
+package ckd
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+
+	"repro/internal/kga/auth"
+)
+
+type helloBody struct {
+	Members     []string
+	GR1         *big.Int // alpha^r_1
+	SenderPub   *big.Int
+	TargetEpoch uint64
+	MAC         []byte // keyed under the long-term pairwise key
+}
+
+func helloCanon(from, to string, b *helloBody) []byte {
+	return auth.Canon("ckd-hello", from, to, b.Members, b.GR1, b.SenderPub, b.TargetEpoch)
+}
+
+type respBody struct {
+	Blinded     *big.Int // alpha^(r_i * K_1i)
+	SenderPub   *big.Int
+	TargetEpoch uint64
+	MAC         []byte // keyed under the long-term pairwise key
+}
+
+func respCanon(from string, b *respBody) []byte {
+	return auth.Canon("ckd-resp", from, b.Blinded, b.SenderPub, b.TargetEpoch)
+}
+
+type keyDistBody struct {
+	Members     []string
+	Left        []string
+	Entries     map[string]*big.Int // Ks blinded per member
+	EntryMACs   map[string][]byte   // keyed under the pairwise blinding key
+	SenderPub   *big.Int
+	TargetEpoch uint64
+}
+
+func entryCanon(from, member string, entry *big.Int, epoch uint64) []byte {
+	return auth.Canon("ckd-entry", from, member, entry, epoch)
+}
+
+// eMACKey derives a MAC key from a pairwise blinding exponent so key-dist
+// entries are authenticated without extra exponentiations.
+func eMACKey(e *big.Int) []byte {
+	h := sha256.Sum256(append([]byte("ckd entry mac v1:"), e.Bytes()...))
+	return h[:]
+}
+
+func encodeBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("encode ckd body: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBody(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("decode ckd body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package cliques
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dh"
+	"repro/internal/kga"
+	"repro/internal/kga/kgatest"
+)
+
+// TestTable2LineItems checks every individual line of the paper's Table 2
+// (Cliques column) by label, not just the totals:
+//
+//	controller: update key share with every member   n-1
+//	            long term key computation             1
+//	            new session key computation            1
+//	new member: long term key computations            n-1
+//	            encryption of session key             n-1
+//	            new session key computation            1
+func TestTable2LineItems(t *testing.T) {
+	for _, n := range []int{3, 6, 12} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			net := kgatest.NewNet(t, ProtoName, dh.Group512)
+			ms := names(n)
+			net.Grow(ms[:n-1])
+			net.Add(ms[n-1])
+			net.ResetCounters()
+			net.MustRun(kga.Event{Type: kga.EvJoin, Members: ms, Joined: ms[n-1:]}, ms)
+
+			ctrl := net.Counters[ms[n-2]].Snapshot()
+			joiner := net.Counters[ms[n-1]].Snapshot()
+
+			wantCtrl := map[string]int{
+				dh.OpShareUpdate: n - 1,
+				dh.OpLongTermKey: 1,
+				dh.OpSessionKey:  1,
+			}
+			for label, want := range wantCtrl {
+				if ctrl[label] != want {
+					t.Errorf("controller %q = %d, want %d", label, ctrl[label], want)
+				}
+			}
+			for label := range ctrl {
+				if _, ok := wantCtrl[label]; !ok {
+					t.Errorf("controller performed unaccounted %q x%d", label, ctrl[label])
+				}
+			}
+
+			wantJoiner := map[string]int{
+				dh.OpLongTermKey: n - 1,
+				dh.OpKeyEncrypt:  n - 1,
+				dh.OpSessionKey:  1,
+			}
+			for label, want := range wantJoiner {
+				if joiner[label] != want {
+					t.Errorf("new member %q = %d, want %d", label, joiner[label], want)
+				}
+			}
+			for label := range joiner {
+				if _, ok := wantJoiner[label]; !ok {
+					t.Errorf("new member performed unaccounted %q x%d", label, joiner[label])
+				}
+			}
+
+			// Non-participants pay exactly one long-term key derivation
+			// (to authenticate their entry) and one session key
+			// computation — parallel work outside Table 2's serial path.
+			for _, name := range ms[:n-2] {
+				snap := net.Counters[name].Snapshot()
+				if snap[dh.OpLongTermKey] != 1 || snap[dh.OpSessionKey] != 1 || net.Counters[name].Total() != 2 {
+					t.Errorf("bystander %s counts = %v", name, snap)
+				}
+			}
+		})
+	}
+}
+
+// TestTable3LineItems checks the leave accounting per label: one state
+// audit ("remove long term key with previous controller"), n-2 share
+// updates, one session key.
+func TestTable3LineItems(t *testing.T) {
+	for _, n := range []int{4, 9} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			net := kgatest.NewNet(t, ProtoName, dh.Group512)
+			ms := names(n)
+			net.Grow(ms)
+			net.ResetCounters()
+			net.MustRun(kga.Event{Type: kga.EvLeave, Members: ms[:n-1], Left: ms[n-1:]}, ms[:n-1])
+
+			ctrl := net.Counters[ms[n-2]].Snapshot()
+			want := map[string]int{
+				dh.OpShareRemove: 1,
+				dh.OpShareUpdate: n - 2,
+				dh.OpSessionKey:  1,
+			}
+			for label, w := range want {
+				if ctrl[label] != w {
+					t.Errorf("controller %q = %d, want %d", label, ctrl[label], w)
+				}
+			}
+			for label := range ctrl {
+				if _, ok := want[label]; !ok {
+					t.Errorf("controller performed unaccounted %q x%d", label, ctrl[label])
+				}
+			}
+		})
+	}
+}
+
+// TestMergeCosts documents the MERGE operation's exponentiation profile
+// (the paper describes the protocol in Section 4.2 but does not tabulate
+// it): the chain contributes one exponentiation per intermediate member,
+// every member factors its share out once, and the new controller folds
+// its share into each returned partial.
+func TestMergeCosts(t *testing.T) {
+	base, k := 4, 3
+	n := base + k
+	net := kgatest.NewNet(t, ProtoName, dh.Group512)
+	ms := names(base)
+	net.Grow(ms)
+	var merged []string
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("x%02d", i)
+		merged = append(merged, name)
+		net.Add(name)
+	}
+	net.ResetCounters()
+	all := append(append([]string{}, ms...), merged...)
+	net.MustRun(kga.Event{Type: kga.EvMerge, Members: all, Joined: merged}, all)
+
+	last := net.Counters[merged[k-1]]
+	// The new controller: verify chain hop (1 long-term), MAC the factor
+	// request to n-1 members, fold its share into n-1 returned partials,
+	// verify n-1 responses, MAC the final broadcast for n-1 members, and
+	// compute the session key.
+	if got := last.Get(dh.OpKeyEncrypt); got != n-1 {
+		t.Errorf("controller share folds = %d, want %d", got, n-1)
+	}
+	if got := last.Get(dh.OpSessionKey); got != 1 {
+		t.Errorf("controller session keys = %d, want 1", got)
+	}
+	// Every other member factors its share out exactly once.
+	for _, name := range all[:n-1] {
+		if got := net.Counters[name].Get(dh.OpShareRemove); got != 1 {
+			t.Errorf("%s factor-outs = %d, want 1", name, got)
+		}
+	}
+	// Intermediate merging members fold their share into the chain once.
+	for _, name := range merged[:k-1] {
+		if got := net.Counters[name].Get(dh.OpKeyEncrypt); got != 1 {
+			t.Errorf("%s chain folds = %d, want 1", name, got)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"slices"
+	"time"
+
+	"repro/internal/dh"
+	"repro/internal/flush"
+	"repro/internal/kga"
+	"repro/internal/spread"
+)
+
+// Errors returned by the secure layer API.
+var (
+	ErrClosed     = errors.New("core: connection closed")
+	ErrNoGroup    = errors.New("core: not a member of the group")
+	ErrNotSecured = errors.New("core: group key agreement has not completed")
+)
+
+// Conn is a secure group connection: the client-model secure Spread
+// session. One Conn can hold memberships in several groups, each with its
+// own key agreement module and cipher suite, exactly as in the paper's
+// run-time module selection.
+type Conn struct {
+	f           *flush.Conn
+	dhGroup     *dh.Group
+	counter     *dh.Counter
+	autoRefresh time.Duration
+
+	reqs   chan func()
+	events chan Event
+	done   chan struct{}
+
+	// Loop-owned state.
+	groups map[string]*groupCtx
+}
+
+// Option configures a Conn.
+type Option func(*Conn)
+
+// WithDHGroup selects the Diffie-Hellman group (default: the paper's
+// 512-bit modulus).
+func WithDHGroup(g *dh.Group) Option {
+	return func(c *Conn) { c.dhGroup = g }
+}
+
+// WithCounter attaches an exponentiation counter shared by all of this
+// connection's key agreement engines (for regenerating Tables 2-4).
+func WithCounter(ct *dh.Counter) Option {
+	return func(c *Conn) { c.counter = ct }
+}
+
+// WithAutoRefresh re-keys every group this member controls once its key is
+// older than the interval — the paper's periodic key refresh. Zero
+// disables it (the default).
+func WithAutoRefresh(interval time.Duration) Option {
+	return func(c *Conn) { c.autoRefresh = interval }
+}
+
+// New wraps a spread client (in-process or remote) in the secure group
+// layer and starts its event loop. The caller must consume Events.
+func New(client spread.Endpoint, opts ...Option) *Conn {
+	c := &Conn{
+		f:       flush.Wrap(client),
+		dhGroup: dh.Group512,
+		reqs:    make(chan func(), 256),
+		events:  make(chan Event, 8192),
+		done:    make(chan struct{}),
+		groups:  make(map[string]*groupCtx),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.run()
+	return c
+}
+
+// Name returns the member name ("user#daemon").
+func (c *Conn) Name() string { return c.f.Name() }
+
+// Events returns the secure event stream; it closes when the connection
+// ends.
+func (c *Conn) Events() <-chan Event { return c.events }
+
+// do runs fn on the event loop.
+func (c *Conn) do(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case c.reqs <- func() { fn(); close(done) }:
+	case <-c.done:
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+// Join joins a secure group using the named key agreement protocol
+// ("cliques" or "ckd") and cipher suite (crypt.SuiteBlowfish etc.). The
+// SecureView event announces when the group is usable.
+func (c *Conn) Join(group, protoName, suiteName string) error {
+	var err error
+	doErr := c.do(func() {
+		if _, dup := c.groups[group]; dup {
+			err = fmt.Errorf("core: already joined %s", group)
+			return
+		}
+		g := &groupCtx{
+			conn:      c,
+			name:      group,
+			protoName: protoName,
+			suiteName: suiteName,
+			pubkeys:   make(map[string]*big.Int),
+		}
+		// Long-term keys are per group context, so each group resolves
+		// peers through its own announcement directory.
+		dir := kga.DirectoryFunc(func(name string) (*big.Int, error) {
+			pub, ok := g.pubkeys[name]
+			if !ok {
+				return nil, fmt.Errorf("core: no public key announced by %s in %s", name, group)
+			}
+			return pub, nil
+		})
+		var proto kga.Protocol
+		proto, err = kga.New(protoName, c.Name(), c.dhGroup, dir, c.counter)
+		if err != nil {
+			return
+		}
+		g.proto = proto
+		c.groups[group] = g
+	})
+	if doErr != nil {
+		return doErr
+	}
+	if err != nil {
+		return err
+	}
+	if err := c.f.Join(group); err != nil {
+		_ = c.do(func() { delete(c.groups, group) })
+		return err
+	}
+	return nil
+}
+
+// Leave voluntarily leaves a group; a SelfLeave event confirms it.
+func (c *Conn) Leave(group string) error {
+	return c.f.Leave(group)
+}
+
+// Multicast encrypts and authenticates data under the group's current
+// secret and sends it to the whole group.
+func (c *Conn) Multicast(group string, data []byte) error {
+	var (
+		frame []byte
+		epoch uint64
+		err   error
+	)
+	if doErr := c.do(func() { frame, epoch, err = c.seal(group, data) }); doErr != nil {
+		return doErr
+	}
+	if err != nil {
+		return err
+	}
+	enc, err := encodeEnvelope(&envelope{Kind: envData, Epoch: epoch, Frame: frame})
+	if err != nil {
+		return err
+	}
+	return c.f.Multicast(spread.Agreed, group, enc)
+}
+
+func (c *Conn) seal(group string, data []byte) ([]byte, uint64, error) {
+	g, ok := c.groups[group]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoGroup, group)
+	}
+	if !g.secured() {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotSecured, group)
+	}
+	frame, err := g.suite.Seal(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return frame, g.key.Epoch, nil
+}
+
+// KeyRefresh requests a fresh group secret without a membership change. A
+// non-controller forwards the request to the current controller, as in
+// CLQ_API's refresh operation.
+func (c *Conn) KeyRefresh(group string) error {
+	var (
+		fwd     bool
+		ctrl    string
+		loopErr error
+	)
+	if doErr := c.do(func() {
+		g, ok := c.groups[group]
+		if !ok {
+			loopErr = fmt.Errorf("%w: %s", ErrNoGroup, group)
+			return
+		}
+		if !g.secured() {
+			loopErr = fmt.Errorf("%w: %s", ErrNotSecured, group)
+			return
+		}
+		if g.proto.Controller() == c.Name() {
+			g.refreshWanted = true
+			g.maybeStartRefresh()
+			return
+		}
+		fwd = true
+		ctrl = g.proto.Controller()
+	}); doErr != nil {
+		return doErr
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+	if !fwd {
+		return nil
+	}
+	enc, err := encodeEnvelope(&envelope{Kind: envRefreshRequest})
+	if err != nil {
+		return err
+	}
+	return c.f.Unicast(spread.FIFO, group, ctrl, enc)
+}
+
+// GroupState reports the secured membership and epoch of a group.
+func (c *Conn) GroupState(group string) (members []string, epoch uint64, secured bool) {
+	_ = c.do(func() {
+		g, ok := c.groups[group]
+		if !ok || g.key == nil {
+			return
+		}
+		members = slices.Clone(g.key.Members)
+		epoch = g.key.Epoch
+		secured = g.secured()
+	})
+	return members, epoch, secured
+}
+
+// Disconnect tears the connection down.
+func (c *Conn) Disconnect() error {
+	return c.f.Disconnect()
+}
+
+// run is the secure layer's event-handling loop (the paper's core design).
+func (c *Conn) run() {
+	defer close(c.done)
+	defer close(c.events)
+	var refreshTick <-chan time.Time
+	if c.autoRefresh > 0 {
+		t := time.NewTicker(c.autoRefresh / 4)
+		defer t.Stop()
+		refreshTick = t.C
+	}
+	for {
+		select {
+		case fn := <-c.reqs:
+			fn()
+		case <-refreshTick:
+			c.autoRefreshTick()
+		case ev, ok := <-c.f.Events():
+			if !ok {
+				return
+			}
+			c.dispatch(ev)
+		}
+	}
+}
+
+// autoRefreshTick triggers a refresh in every secured group this member
+// controls whose key has aged past the interval.
+func (c *Conn) autoRefreshTick() {
+	now := time.Now()
+	for _, g := range c.groups {
+		if !g.secured() || g.proto.Controller() != c.Name() {
+			continue
+		}
+		if now.Sub(g.keyBorn) < c.autoRefresh {
+			continue
+		}
+		g.refreshWanted = true
+		g.maybeStartRefresh()
+	}
+}
+
+func (c *Conn) emit(ev Event) {
+	c.events <- ev
+}
+
+func (c *Conn) warn(group string, err error) {
+	select {
+	case c.events <- Warning{Group: group, Err: err}:
+	default:
+		// Warnings are advisory; never stall the loop for them.
+	}
+}
+
+func (c *Conn) dispatch(ev flush.Event) {
+	switch e := ev.(type) {
+	case flush.FlushRequest:
+		// Per the paper (Section 5.4), the layer cannot know whether
+		// the pending change is safe to defer, so it acknowledges
+		// immediately; an interrupted agreement is resolved by the
+		// alignment check in the next view.
+		if err := c.f.FlushOK(e.Group); err != nil && !errors.Is(err, flush.ErrNotPending) {
+			// A stale request (already superseded or completed) is
+			// expected under cascades and not worth a warning.
+			c.warn(e.Group, fmt.Errorf("flush ok: %w", err))
+		}
+	case flush.View:
+		if g, ok := c.groups[e.Info.Group]; ok {
+			g.onView(e.Info)
+		}
+	case flush.SelfLeave:
+		if g, ok := c.groups[e.Group]; ok {
+			g.proto.Dissolve()
+			delete(c.groups, e.Group)
+			c.emit(SelfLeave{Group: e.Group})
+		}
+	case flush.Data:
+		env, err := decodeEnvelope(e.Data)
+		if err != nil {
+			c.warn(e.Group, err)
+			return
+		}
+		if g, ok := c.groups[e.Group]; ok {
+			g.onEnvelope(e.Sender, env)
+		}
+	}
+}

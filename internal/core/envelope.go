@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+
+	"repro/internal/kga"
+)
+
+// Envelope kinds carried inside flush-layer data messages.
+const (
+	envAnnounce = iota + 1
+	envKGA
+	envData
+	envRefreshStart
+	envRefreshRequest
+)
+
+// envelope is the secure layer's wire format.
+type envelope struct {
+	Kind int
+
+	// envAnnounce: per-view state announcement.
+	Ann *announceBody
+
+	// envKGA: a key-agreement protocol message.
+	KGA *kga.Message
+
+	// envData: encrypted application payload.
+	Epoch uint64
+	Frame []byte
+}
+
+// announceBody carries the state a member advertises at the start of every
+// view: its long-term public key (member certification is out of scope per
+// the paper, Section 1.2) and the alignment information used to choose
+// between the incremental operation and the full re-key.
+type announceBody struct {
+	Name string
+	Pub  *big.Int
+	// Epoch is the committed key epoch (0 = no group context).
+	Epoch uint64
+	// Digest is a key-confirmation digest of the committed secret.
+	Digest []byte
+	// Members is the committed member list, oldest first.
+	Members []string
+	// Proto is the key agreement module in use, for mismatch detection.
+	Proto string
+}
+
+func encodeEnvelope(e *envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("encode secure envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeEnvelope(data []byte) (*envelope, error) {
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("decode secure envelope: %w", err)
+	}
+	return &e, nil
+}
+
+// keyDigest is the key-confirmation value exchanged in announcements: it
+// proves knowledge of the committed secret without revealing it.
+func keyDigest(secret []byte, epoch uint64) []byte {
+	h := sha256.New()
+	h.Write([]byte("secure-spread key confirmation v1"))
+	fmt.Fprintf(h, "%d:", epoch)
+	h.Write(secret)
+	return h.Sum(nil)
+}
+
+// suiteContext binds derived data keys to their group and epoch.
+func suiteContext(group string, epoch uint64) []byte {
+	return []byte(fmt.Sprintf("secure-spread/%s/epoch-%d", group, epoch))
+}
+
+// membersEqual compares two member name lists.
+func membersEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/crypt"
+	"repro/internal/spread"
+)
+
+// TestTable1EventMapping drives every row of the paper's Table 1 through
+// the full stack and checks that the secure layer converges on a fresh key
+// with the right membership. The kga operation chosen is visible through
+// the SecureView reason and the FullRekey flag (false = the incremental
+// Table-1 operation ran).
+func TestTable1EventMapping(t *testing.T) {
+	t.Run("join", func(t *testing.T) {
+		cluster := newCluster(t, 1)
+		a := connectSecure(t, cluster.Daemons[0], "a")
+		if err := a.Join("g", "cliques", crypt.SuiteBlowfish); err != nil {
+			t.Fatal(err)
+		}
+		waitSecure(t, a, "g", 1)
+		b := connectSecure(t, cluster.Daemons[0], "b")
+		if err := b.Join("g", "cliques", crypt.SuiteBlowfish); err != nil {
+			t.Fatal(err)
+		}
+		v := waitSecure(t, a, "g", 2)
+		if v.Reason != spread.ReasonJoin || v.FullRekey {
+			t.Fatalf("join mapped to %v fullRekey=%v", v.Reason, v.FullRekey)
+		}
+		waitSecure(t, b, "g", 2)
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		cluster := newCluster(t, 1)
+		conns := growGroup(t, cluster, 3)
+		if err := conns[1].Leave("g"); err != nil {
+			t.Fatal(err)
+		}
+		v := waitSecure(t, conns[0], "g", 2)
+		if v.Reason != spread.ReasonLeave || v.FullRekey {
+			t.Fatalf("leave mapped to %v fullRekey=%v", v.Reason, v.FullRekey)
+		}
+	})
+
+	t.Run("disconnect", func(t *testing.T) {
+		cluster := newCluster(t, 1)
+		conns := growGroup(t, cluster, 3)
+		if err := conns[2].Disconnect(); err != nil {
+			t.Fatal(err)
+		}
+		v := waitSecure(t, conns[0], "g", 2)
+		if v.Reason != spread.ReasonDisconnect || v.FullRekey {
+			t.Fatalf("disconnect mapped to %v fullRekey=%v", v.Reason, v.FullRekey)
+		}
+	})
+
+	t.Run("partition", func(t *testing.T) {
+		cluster := newCluster(t, 3)
+		conns := growGroupAcross(t, cluster, 3)
+		names := daemonNames(cluster)
+		cluster.Net.Partition(names[:2], names[2:])
+		v := waitSecure(t, conns[0], "g", 2)
+		if v.Reason != spread.ReasonPartition {
+			t.Fatalf("partition mapped to %v", v.Reason)
+		}
+		waitSecure(t, conns[2], "g", 1)
+	})
+
+	t.Run("merge", func(t *testing.T) {
+		cluster := newCluster(t, 3)
+		conns := growGroupAcross(t, cluster, 3)
+		names := daemonNames(cluster)
+		cluster.Net.Partition(names[:2], names[2:])
+		waitSecure(t, conns[0], "g", 2)
+		waitSecure(t, conns[2], "g", 1)
+		cluster.Net.Heal()
+		v := waitSecure(t, conns[0], "g", 3)
+		if v.Reason != spread.ReasonMerge && v.Reason != spread.ReasonPartitionMerge {
+			t.Fatalf("merge mapped to %v", v.Reason)
+		}
+		waitSecure(t, conns[2], "g", 3)
+	})
+
+	t.Run("partition+merge", func(t *testing.T) {
+		// While partitioned, a member on the minority side leaves; the
+		// heal then brings a changed component back: the majority side
+		// sees members both gone and (re)joined in one view — Table 1's
+		// "Leave then Merge".
+		cluster := newCluster(t, 3)
+		conns := growGroupAcross(t, cluster, 3)
+		names := daemonNames(cluster)
+
+		// Partition the member on daemon 0 away from daemons 1 and 2.
+		cluster.Net.Partition(names[:1], names[1:])
+		waitSecure(t, conns[0], "g", 1)
+		waitSecure(t, conns[1], "g", 2)
+
+		// During the partition, the member hosted on daemon 2 leaves.
+		if err := conns[2].Leave("g"); err != nil {
+			t.Fatal(err)
+		}
+		waitSecure(t, conns[1], "g", 1)
+
+		// Heal: conns[0]'s view loses conns[2] and regains conns[1].
+		cluster.Net.Heal()
+		v := waitSecure(t, conns[0], "g", 2)
+		if v.Reason != spread.ReasonPartitionMerge && v.Reason != spread.ReasonMerge {
+			t.Fatalf("partition+merge mapped to %v", v.Reason)
+		}
+		if slices.Contains(v.Members, conns[2].Name()) {
+			t.Fatal("departed member still in merged view")
+		}
+		waitSecure(t, conns[1], "g", 2)
+
+		// Both survivors share the key.
+		if err := conns[0].Multicast("g", []byte("after leave-then-merge")); err != nil {
+			t.Fatal(err)
+		}
+		if m := waitMessage(t, conns[1], "g"); string(m.Data) != "after leave-then-merge" {
+			t.Fatalf("got %q", m.Data)
+		}
+	})
+}
+
+func daemonNames(cluster *spread.Cluster) []string {
+	out := make([]string, len(cluster.Daemons))
+	for i, d := range cluster.Daemons {
+		out[i] = d.Name()
+	}
+	return out
+}
+
+// growGroup joins n members on the first daemon, one at a time.
+func growGroup(t *testing.T, cluster *spread.Cluster, n int) []*Conn {
+	t.Helper()
+	var conns []*Conn
+	for i := 0; i < n; i++ {
+		c := connectSecure(t, cluster.Daemons[0], fmt.Sprintf("m%d", i))
+		conns = append(conns, c)
+		if err := c.Join("g", "cliques", crypt.SuiteBlowfish); err != nil {
+			t.Fatal(err)
+		}
+		for _, cc := range conns {
+			waitSecure(t, cc, "g", i+1)
+		}
+	}
+	return conns
+}
+
+// growGroupAcross joins n members, one per daemon, one at a time.
+func growGroupAcross(t *testing.T, cluster *spread.Cluster, n int) []*Conn {
+	t.Helper()
+	var conns []*Conn
+	for i := 0; i < n; i++ {
+		c := connectSecure(t, cluster.Daemons[i%len(cluster.Daemons)], fmt.Sprintf("m%d", i))
+		conns = append(conns, c)
+		if err := c.Join("g", "cliques", crypt.SuiteBlowfish); err != nil {
+			t.Fatal(err)
+		}
+		for _, cc := range conns {
+			waitSecure(t, cc, "g", i+1)
+		}
+	}
+	return conns
+}

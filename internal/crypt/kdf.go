@@ -1,0 +1,50 @@
+package crypt
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// KDF is an HKDF-style expand-only key derivation function: an io.Reader
+// producing a deterministic key stream from (secret, context). Suites read
+// as many key bytes as they need from it; two KDFs agree byte-for-byte iff
+// their secret and context agree, which is what lets every group member
+// derive identical cipher and MAC keys from the agreed group secret.
+type KDF struct {
+	prk     []byte
+	context []byte
+	counter uint32
+	block   []byte
+	off     int
+}
+
+// NewKDF extracts a pseudorandom key from secret and returns an expand
+// stream bound to context.
+func NewKDF(secret, context []byte) *KDF {
+	// Extract step: PRK = HMAC(salt="secure-spread kdf v1", secret).
+	ext := hmac.New(sha256.New, []byte("secure-spread kdf v1"))
+	ext.Write(secret)
+	return &KDF{prk: ext.Sum(nil), context: append([]byte(nil), context...)}
+}
+
+// Read fills p with key-stream bytes. It never returns an error.
+func (k *KDF) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if k.off == len(k.block) {
+			k.counter++
+			mac := hmac.New(sha256.New, k.prk)
+			var ctr [4]byte
+			binary.BigEndian.PutUint32(ctr[:], k.counter)
+			mac.Write(ctr[:])
+			mac.Write(k.context)
+			k.block = mac.Sum(nil)
+			k.off = 0
+		}
+		c := copy(p, k.block[k.off:])
+		k.off += c
+		p = p[c:]
+	}
+	return n, nil
+}

@@ -1,0 +1,37 @@
+package flush
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/spread"
+)
+
+// TestFlushUnderDaemonChurn runs join flushes while the daemon failure
+// detector is tuned so aggressively that spurious suspicions (and thus
+// daemon view churn) happen constantly. The flush layer must converge
+// anyway: this is the cascading-membership regression test at the flush
+// level.
+func TestFlushUnderDaemonChurn(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		c, err := spread.NewCluster(2, spread.Config{
+			Heartbeat:    8 * time.Millisecond,
+			SuspectAfter: 20 * time.Millisecond, // trigger-happy on purpose
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := connect(t, c.Daemons[0], "a")
+		b := connect(t, c.Daemons[1], "b")
+		group := fmt.Sprintf("g%d", iter)
+		if err := a.Join(group); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Join(group); err != nil {
+			t.Fatal(err)
+		}
+		flushAllUntil(t, group, 2, a, b)
+		c.Stop()
+	}
+}

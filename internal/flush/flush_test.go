@@ -1,0 +1,456 @@
+package flush
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/spread"
+)
+
+func newCluster(t *testing.T, n int) *spread.Cluster {
+	t.Helper()
+	c, err := spread.NewCluster(n, spread.Config{
+		Heartbeat:    10 * time.Millisecond,
+		SuspectAfter: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func connect(t *testing.T, d *spread.Daemon, user string) *Conn {
+	t.Helper()
+	cl, err := d.Connect(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Wrap(cl)
+}
+
+func recv(t *testing.T, f *Conn) Event {
+	t.Helper()
+	select {
+	case ev, ok := <-f.Events():
+		if !ok {
+			fmt.Printf("CLOSED %s\n", f.Name())
+			t.Fatalf("%s: flush events closed", f.Name())
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		dumpFlushState(f)
+		t.Fatalf("%s: timed out waiting for flush event", f.Name())
+		return nil
+	}
+}
+
+// dumpFlushState prints a wedged connection's state to stdout (visible
+// even when the caller is a worker goroutine that dies via Fatalf).
+func dumpFlushState(f *Conn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for g, st := range f.groups {
+		cur, pend := "nil", "nil"
+		if st.current != nil {
+			cur = st.current.ID.String()
+		}
+		if st.pending != nil {
+			pend = fmt.Sprintf("%s(%d members)", st.pending.ID, len(st.pending.Members))
+		}
+		fmt.Printf("WEDGE %s[%s]: cur=%s pend=%s okSent=%v oks=%v buffered=%d\n",
+			f.Name(), g, cur, pend, st.okSent, st.oks, len(st.buffered))
+	}
+}
+
+// autoFlushUntilView answers FlushRequests until a View for the group
+// arrives, returning it. Data events encountered on the way are appended
+// to got (if non-nil).
+func autoFlushUntilView(t *testing.T, f *Conn, group string, got *[]Data) View {
+	t.Helper()
+	for {
+		switch e := recv(t, f).(type) {
+		case FlushRequest:
+			if e.Group == group {
+				// The request may be stale: a second membership change
+				// can supersede it, or the flush may already have
+				// completed with an earlier acknowledgement.
+				if err := f.FlushOK(group); err != nil && !errors.Is(err, ErrNotPending) {
+					t.Fatalf("%s: flush ok: %v", f.Name(), err)
+				}
+			}
+		case View:
+			if e.Info.Group == group {
+				return e
+			}
+		case Data:
+			if got != nil && e.Group == group {
+				*got = append(*got, e)
+			}
+		}
+	}
+}
+
+// flushAll drives every connection's flush concurrently until each has
+// installed a view for the group, returning the views by member name.
+// Flush completion needs every member's OK, so the connections must be
+// pumped in parallel.
+func flushAll(t *testing.T, group string, conns ...*Conn) map[string]View {
+	t.Helper()
+	type res struct {
+		name string
+		v    View
+	}
+	ch := make(chan res, len(conns))
+	for _, f := range conns {
+		f := f
+		go func() {
+			ch <- res{name: f.Name(), v: autoFlushUntilView(t, f, group, nil)}
+		}()
+	}
+	out := make(map[string]View, len(conns))
+	for range conns {
+		r := <-ch
+		out[r.name] = r.v
+	}
+	return out
+}
+
+// flushAllUntil drives the connections until each one's installed view for
+// the group has exactly n members.
+func flushAllUntil(t *testing.T, group string, n int, conns ...*Conn) map[string]View {
+	t.Helper()
+	type res struct {
+		name string
+		v    View
+	}
+	ch := make(chan res, len(conns))
+	for _, f := range conns {
+		f := f
+		go func() {
+			for {
+				v := autoFlushUntilView(t, f, group, nil)
+				if len(v.Info.Members) == n {
+					ch <- res{name: f.Name(), v: v}
+					return
+				}
+			}
+		}()
+	}
+	out := make(map[string]View, len(conns))
+	for range conns {
+		r := <-ch
+		out[r.name] = r.v
+	}
+	return out
+}
+
+func TestSingleMemberFlushInstall(t *testing.T) {
+	c := newCluster(t, 1)
+	a := connect(t, c.Daemons[0], "a")
+	if err := a.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	ev := recv(t, a)
+	fr, ok := ev.(FlushRequest)
+	if !ok || fr.Group != "g" {
+		t.Fatalf("first event %+v, want FlushRequest", ev)
+	}
+	// No view installed until the flush completes.
+	if _, ok := a.CurrentView("g"); ok {
+		t.Fatal("view installed before flush-ok")
+	}
+	if err := a.FlushOK("g"); err != nil {
+		t.Fatal(err)
+	}
+	v := recv(t, a)
+	view, ok := v.(View)
+	if !ok {
+		t.Fatalf("got %+v, want View", v)
+	}
+	if view.Info.Reason != spread.ReasonInitial {
+		t.Fatalf("reason = %v", view.Info.Reason)
+	}
+	if !slices.Equal(view.Info.MemberNames(), []string{a.Name()}) {
+		t.Fatalf("members = %v", view.Info.MemberNames())
+	}
+}
+
+func TestFlushRequestRevealsNothing(t *testing.T) {
+	// Faithfulness check: the FlushRequest must not say what changed.
+	c := newCluster(t, 1)
+	a := connect(t, c.Daemons[0], "a")
+	a.Join("g")
+	ev := recv(t, a)
+	fr := ev.(FlushRequest)
+	if fr.Group != "g" {
+		t.Fatalf("group = %s", fr.Group)
+	}
+	// The struct has exactly one field (Group); nothing else to assert —
+	// the type system enforces it.
+}
+
+func TestTwoMemberFlushAndVS(t *testing.T) {
+	c := newCluster(t, 2)
+	a := connect(t, c.Daemons[0], "a")
+	b := connect(t, c.Daemons[1], "b")
+
+	a.Join("g")
+	autoFlushUntilView(t, a, "g", nil)
+
+	b.Join("g")
+	views := flushAll(t, "g", a, b)
+	va, vb := views[a.Name()], views[b.Name()]
+	if va.Info.ID != vb.Info.ID {
+		t.Fatalf("VS view ids differ: %v vs %v", va.Info.ID, vb.Info.ID)
+	}
+	if !slices.Equal(va.Info.MemberNames(), []string{a.Name(), b.Name()}) {
+		t.Fatalf("members = %v", va.Info.MemberNames())
+	}
+
+	// Data flows under the installed view.
+	if err := a.Multicast(spread.Agreed, "g", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*Conn{a, b} {
+		for {
+			ev := recv(t, f)
+			if d, ok := ev.(Data); ok {
+				if string(d.Data) != "hello" || d.Sender != a.Name() {
+					t.Fatalf("%s got %+v", f.Name(), d)
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestSendBlockedAfterFlushOK(t *testing.T) {
+	c := newCluster(t, 1)
+	a := connect(t, c.Daemons[0], "a")
+	b := connect(t, c.Daemons[0], "b")
+	a.Join("g")
+	autoFlushUntilView(t, a, "g", nil)
+
+	// b joins; a receives the flush request.
+	b.Join("g")
+	ev := recv(t, a)
+	if _, ok := ev.(FlushRequest); !ok {
+		t.Fatalf("got %+v, want FlushRequest", ev)
+	}
+	// Before flush-ok, a may still send (in the old view).
+	if err := a.Multicast(spread.Agreed, "g", []byte("late-old-view")); err != nil {
+		t.Fatalf("send before flush-ok should work: %v", err)
+	}
+	if err := a.FlushOK("g"); err != nil {
+		t.Fatal(err)
+	}
+	// After flush-ok, sends are blocked.
+	if err := a.Multicast(spread.Agreed, "g", []byte("x")); !errors.Is(err, ErrFlushing) {
+		t.Fatalf("send after flush-ok: %v, want ErrFlushing", err)
+	}
+	flushAll(t, "g", a, b)
+	// After the view installs, sends work again.
+	if err := a.Multicast(spread.Agreed, "g", []byte("new-view")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVSDeliveryInSendersView(t *testing.T) {
+	// The core VS property: a message sent in view V1 is delivered to
+	// every member while V1 is its installed view, even if a membership
+	// change is already in progress at the receiver.
+	c := newCluster(t, 2)
+	a := connect(t, c.Daemons[0], "a")
+	b := connect(t, c.Daemons[1], "b")
+	a.Join("g")
+	autoFlushUntilView(t, a, "g", nil)
+	b.Join("g")
+	views := flushAll(t, "g", a, b)
+	va, vb := views[a.Name()], views[b.Name()]
+
+	// a sends in the 2-member view; b receives it in the same view.
+	if err := a.Multicast(spread.Agreed, "g", []byte("v2-msg")); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev := recv(t, b)
+		if d, ok := ev.(Data); ok {
+			if string(d.Data) != "v2-msg" {
+				t.Fatalf("b got %q", d.Data)
+			}
+			break
+		}
+	}
+	_ = va
+	_ = vb
+}
+
+func TestSelfLeave(t *testing.T) {
+	c := newCluster(t, 1)
+	a := connect(t, c.Daemons[0], "a")
+	b := connect(t, c.Daemons[0], "b")
+	a.Join("g")
+	autoFlushUntilView(t, a, "g", nil)
+	b.Join("g")
+	flushAll(t, "g", a, b)
+
+	if err := b.Leave("g"); err != nil {
+		t.Fatal(err)
+	}
+	// b gets a SelfLeave; a flushes to the 1-member view.
+	for {
+		ev := recv(t, b)
+		if _, ok := ev.(SelfLeave); ok {
+			break
+		}
+	}
+	v := autoFlushUntilView(t, a, "g", nil)
+	if !slices.Equal(v.Info.MemberNames(), []string{a.Name()}) {
+		t.Fatalf("members after leave = %v", v.Info.MemberNames())
+	}
+	if v.Info.Reason != spread.ReasonLeave {
+		t.Fatalf("reason = %v", v.Info.Reason)
+	}
+	// b can no longer send to the group.
+	if err := b.Multicast(spread.Agreed, "g", []byte("x")); !errors.Is(err, ErrNoView) {
+		t.Fatalf("send after leave: %v, want ErrNoView", err)
+	}
+}
+
+func TestCascadingViewRestartsFlush(t *testing.T) {
+	c := newCluster(t, 1)
+	a := connect(t, c.Daemons[0], "a")
+	a.Join("g")
+	autoFlushUntilView(t, a, "g", nil)
+
+	// Two more members join back to back; a deliberately does NOT answer
+	// the first flush request — the second change must supersede it.
+	b := connect(t, c.Daemons[0], "b")
+	x := connect(t, c.Daemons[0], "x")
+	b.Join("g")
+	ev := recv(t, a)
+	if _, ok := ev.(FlushRequest); !ok {
+		t.Fatalf("got %+v, want FlushRequest", ev)
+	}
+	x.Join("g")
+	ev = recv(t, a)
+	if _, ok := ev.(FlushRequest); !ok {
+		t.Fatalf("got %+v, want second FlushRequest", ev)
+	}
+	// Now acknowledge; the installed view must contain all three.
+	if err := a.FlushOK("g"); err != nil {
+		t.Fatal(err)
+	}
+	views := flushAllUntil(t, "g", 3, a, b, x)
+	if got := views[a.Name()]; len(got.Info.Members) != 3 {
+		t.Fatalf("members = %v", got.Info.MemberNames())
+	}
+}
+
+func TestFlushOKWithoutPending(t *testing.T) {
+	c := newCluster(t, 1)
+	a := connect(t, c.Daemons[0], "a")
+	if err := a.FlushOK("nope"); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("got %v, want ErrNotPending", err)
+	}
+}
+
+func TestSendWithoutView(t *testing.T) {
+	c := newCluster(t, 1)
+	a := connect(t, c.Daemons[0], "a")
+	if err := a.Multicast(spread.Agreed, "g", []byte("x")); !errors.Is(err, ErrNoView) {
+		t.Fatalf("got %v, want ErrNoView", err)
+	}
+}
+
+func TestUnicastUnderVS(t *testing.T) {
+	c := newCluster(t, 2)
+	a := connect(t, c.Daemons[0], "a")
+	b := connect(t, c.Daemons[1], "b")
+	a.Join("g")
+	autoFlushUntilView(t, a, "g", nil)
+	b.Join("g")
+	flushAll(t, "g", a, b)
+
+	if err := a.Unicast(spread.FIFO, "g", b.Name(), []byte("to-b-only")); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev := recv(t, b)
+		if d, ok := ev.(Data); ok {
+			if string(d.Data) != "to-b-only" {
+				t.Fatalf("b got %q", d.Data)
+			}
+			break
+		}
+	}
+	// a must not receive the unicast.
+	if err := a.Multicast(spread.FIFO, "g", []byte("marker")); err != nil {
+		t.Fatal(err)
+	}
+	ev := recv(t, a)
+	d, ok := ev.(Data)
+	if !ok || string(d.Data) != "marker" {
+		t.Fatalf("a got %+v, want its own marker only", ev)
+	}
+}
+
+func TestPartitionHealUnderFlush(t *testing.T) {
+	c := newCluster(t, 3)
+	names := []string{c.Daemons[0].Name(), c.Daemons[1].Name(), c.Daemons[2].Name()}
+	a := connect(t, c.Daemons[0], "a")
+	b := connect(t, c.Daemons[1], "b")
+	x := connect(t, c.Daemons[2], "x")
+	for _, f := range []*Conn{a, b, x} {
+		if err := f.Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushAllUntil(t, "g", 3, a, b, x)
+
+	c.Net.Partition(names[:2], names[2:])
+	flushAllUntil(t, "g", 2, a, b)
+	flushAllUntil(t, "g", 1, x)
+
+	c.Net.Heal()
+	flushAllUntil(t, "g", 3, a, b, x)
+	// After the merge, data flows again under VS.
+	if err := a.Multicast(spread.Agreed, "g", []byte("post-merge")); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*Conn{b, x} {
+		for {
+			ev := recv(t, f)
+			if d, ok := ev.(Data); ok && string(d.Data) == "post-merge" {
+				break
+			}
+		}
+	}
+}
+
+func TestManyMembersFlushConvergence(t *testing.T) {
+	c := newCluster(t, 3)
+	const n = 8
+	var conns []*Conn
+	for i := 0; i < n; i++ {
+		f := connect(t, c.Daemons[i%3], fmt.Sprintf("u%d", i))
+		conns = append(conns, f)
+		if err := f.Join("g"); err != nil {
+			t.Fatal(err)
+		}
+		// Everyone (including the newcomer) flushes to the new view.
+		flushAllUntil(t, "g", i+1, conns...)
+	}
+	// All agree on the final view.
+	ref, _ := conns[0].CurrentView("g")
+	for _, g := range conns[1:] {
+		v, _ := g.CurrentView("g")
+		if v.ID != ref.ID || !slices.Equal(v.MemberNames(), ref.MemberNames()) {
+			t.Fatalf("views differ: %v vs %v", v, ref)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package spread
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Endpoint is the client-side surface the upper layers (flush, secure
+// layer) build on. The in-process Client implements it, and so does the
+// TCP RemoteClient — the layers above cannot tell the difference.
+type Endpoint interface {
+	// Name returns the unique member name ("user#daemon").
+	Name() string
+	// Join requests membership in a group.
+	Join(group string) error
+	// Leave requests departure from a group.
+	Leave(group string) error
+	// Multicast sends data to every member of a group.
+	Multicast(svc Service, group string, data []byte) error
+	// Unicast sends data to a single group member.
+	Unicast(svc Service, group, member string, data []byte) error
+	// Events returns the delivery channel; it closes on disconnect.
+	Events() <-chan Event
+	// Disconnect closes the connection.
+	Disconnect() error
+}
+
+var _ Endpoint = (*Client)(nil)
+
+// Client is an in-process client connection to a daemon — the analogue of
+// a Spread client library session. Events (data messages and group views)
+// arrive on the Events channel in delivery order.
+type Client struct {
+	d    *Daemon
+	name string
+
+	events chan Event
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	errMu     sync.Mutex
+	err       error
+
+	// lastSeen tracks the member list last delivered to this client per
+	// group; owned by the daemon event loop.
+	lastSeen map[string][]string
+}
+
+// Connect registers a client with the daemon under the given user name.
+// The client's member name is "user#daemon" and must be unique within the
+// daemon.
+func (d *Daemon) Connect(user string) (*Client, error) {
+	if user == "" || strings.ContainsAny(user, "#") {
+		return nil, fmt.Errorf("%w: %q", ErrBadName, user)
+	}
+	c := &Client{
+		d:        d,
+		name:     user + "#" + d.name,
+		events:   make(chan Event, d.cfg.ClientBuffer),
+		closed:   make(chan struct{}),
+		lastSeen: make(map[string][]string),
+	}
+	var connErr error
+	err := d.do(func() {
+		if _, dup := d.clients[c.name]; dup {
+			connErr = fmt.Errorf("%w: client %s already connected", ErrBadName, c.name)
+			return
+		}
+		d.clients[c.name] = c
+	})
+	if err != nil {
+		return nil, err
+	}
+	if connErr != nil {
+		return nil, connErr
+	}
+	return c, nil
+}
+
+// Name returns the client's unique member name ("user#daemon").
+func (c *Client) Name() string { return c.name }
+
+// Daemon returns the daemon this client is connected to.
+func (c *Client) Daemon() *Daemon { return c.d }
+
+// Events returns the delivery channel. It is closed when the client is
+// disconnected; Err reports why.
+func (c *Client) Events() <-chan Event { return c.events }
+
+// Err returns the reason the client was disconnected, or nil.
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// Receive blocks for the next event, up to the timeout (zero means wait
+// forever).
+func (c *Client) Receive(timeout time.Duration) (Event, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case ev, ok := <-c.events:
+		if !ok {
+			if err := c.Err(); err != nil {
+				return nil, err
+			}
+			return nil, ErrDisconnected
+		}
+		return ev, nil
+	case <-timer:
+		return nil, fmt.Errorf("spread: receive timeout after %v", timeout)
+	}
+}
+
+// Join requests membership in a group. The resulting view arrives as a
+// ViewEvent (ReasonInitial for this client).
+func (c *Client) Join(groupName string) error {
+	if groupName == "" {
+		return fmt.Errorf("%w: empty group", ErrBadName)
+	}
+	return c.op(payload{Kind: payGroupJoin, Group: groupName, Member: c.name})
+}
+
+// Leave requests departure from a group. The client receives a final
+// self-leave ViewEvent.
+func (c *Client) Leave(groupName string) error {
+	return c.op(payload{Kind: payGroupLeave, Group: groupName, Member: c.name})
+}
+
+// Multicast sends data to every member of the group (including the sender)
+// with the requested service level.
+func (c *Client) Multicast(svc Service, groupName string, data []byte) error {
+	return c.op(payload{
+		Kind:    payClientData,
+		Group:   groupName,
+		Member:  c.name,
+		Service: svc,
+		Data:    data,
+	})
+}
+
+// Unicast sends data to a single member of the group. It travels the same
+// ordered channel as multicasts, so unicasts and multicasts from one
+// sender stay mutually ordered — the property the key agreement protocols
+// rely on.
+func (c *Client) Unicast(svc Service, groupName, member string, data []byte) error {
+	return c.op(payload{
+		Kind:      payClientData,
+		Group:     groupName,
+		Member:    c.name,
+		DstMember: member,
+		Service:   svc,
+		Data:      data,
+	})
+}
+
+// Disconnect closes the client: it leaves all groups (as a disconnect, not
+// a voluntary leave) and the events channel is closed.
+func (c *Client) Disconnect() error {
+	return c.d.do(func() { c.d.disconnectClient(c, nil) })
+}
+
+// op submits a client operation to the daemon loop. Operations during a
+// daemon membership change or group state exchange are queued and replayed
+// once the configuration stabilizes.
+func (c *Client) op(p payload) error {
+	select {
+	case <-c.closed:
+		if err := c.Err(); err != nil {
+			return err
+		}
+		return ErrDisconnected
+	default:
+	}
+	return c.d.do(func() {
+		if _, ok := c.d.clients[c.name]; !ok {
+			return // disconnected concurrently
+		}
+		c.d.submit(p)
+	})
+}
+
+// submit originates a client operation, deferring it while the daemon
+// membership is in flux.
+func (d *Daemon) submit(p payload) {
+	if d.form.active || len(d.stateWait) > 0 {
+		d.queuedOps = append(d.queuedOps, queuedOp{p: p})
+		return
+	}
+	d.broadcastData(p)
+}
+
+// emit delivers an event to a client. A client that has let its buffer
+// fill is forcibly disconnected rather than stalling the daemon (Spread's
+// slow-client policy).
+func (d *Daemon) emit(c *Client, ev Event) {
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	select {
+	case c.events <- ev:
+	default:
+		d.disconnectClient(c, fmt.Errorf("%w: event buffer overflow", ErrDisconnected))
+	}
+}
+
+// disconnectClient removes a client and announces its departure from every
+// group it belonged to. Runs on the daemon loop.
+func (d *Daemon) disconnectClient(c *Client, cause error) {
+	if _, ok := d.clients[c.name]; !ok {
+		c.close(cause)
+		return
+	}
+	delete(d.clients, c.name)
+	for name, g := range d.groups {
+		if g.index(c.name) >= 0 {
+			d.submit(payload{
+				Kind:       payGroupLeave,
+				Group:      name,
+				Member:     c.name,
+				Disconnect: true,
+			})
+		}
+	}
+	c.close(cause)
+}
+
+func (c *Client) close(cause error) {
+	c.closeOnce.Do(func() {
+		c.errMu.Lock()
+		c.err = cause
+		c.errMu.Unlock()
+		close(c.closed)
+		close(c.events)
+	})
+}

@@ -1,0 +1,583 @@
+package spread
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Errors returned by the daemon and client API.
+var (
+	ErrStopped      = errors.New("spread: daemon stopped")
+	ErrDisconnected = errors.New("spread: client disconnected")
+	ErrBadName      = errors.New("spread: invalid name")
+)
+
+// Daemon is one group communication daemon. It runs a single event-loop
+// goroutine; all protocol state is confined to that goroutine. Clients
+// connect in-process (the daemon-client architecture of Section 3) and
+// interact through the Client type.
+type Daemon struct {
+	name  string
+	cfg   Config
+	peers []string // all configured daemon names, including self
+	node  transport.Node
+
+	inbox chan inboundMsg
+	acts  chan func()
+	stop  chan struct{}
+	done  chan struct{}
+
+	// --- everything below is owned by the event loop ---
+
+	view     View
+	maxEpoch uint64
+	lts      uint64
+	seq      uint64
+
+	lastHeard map[string]time.Time
+	seenLTS   map[string]uint64
+	stable    map[string]uint64
+
+	deliveredSeq map[string]uint64
+	pending      map[string][]*dataMsg // per sender, sorted by seq
+	retained     map[msgKey]*dataMsg
+	futureMsgs   []*dataMsg // data for views not yet installed
+
+	form formingState
+
+	groups     map[string]*group
+	prevGroups map[string]*group // snapshot taken at view install
+	clients    map[string]*Client
+
+	lastEcho time.Time
+
+	counters statsCounters
+	sec      *daemonSec
+
+	stateWait    map[string]bool
+	stateEntries map[string][]stateEntry
+	stateSeqs    map[string]uint64 // max ViewSeq per group from state exchange
+	bufferedMsgs []*dataMsg        // payload delivery deferred during state wait
+	queuedOps    []queuedOp        // client ops deferred during forming/state wait
+}
+
+type inboundMsg struct {
+	from string
+	data []byte
+}
+
+type queuedOp struct {
+	p payload
+}
+
+// formingState tracks an in-progress daemon membership round. Rounds are
+// globally ordered by (round, coord); each daemon remembers the highest
+// round it has seen anywhere so new attempts always supersede old ones.
+type formingState struct {
+	active    bool
+	round     uint64
+	coord     string
+	isCoord   bool
+	frozen    bool // syncAck sent: no more old-view data accepted
+	proposals map[string]bool
+	acks      map[string]*syncAckMsg
+	synced    []string
+	gatherAt  time.Time
+	deadline  time.Time
+
+	// maxRound is the highest round seen in any membership message.
+	maxRound uint64
+	// lastAcked identifies the (round, coord) whose SYNC we last
+	// acknowledged; only a matching INSTALL is accepted.
+	ackedRound uint64
+	ackedCoord string
+}
+
+// NewDaemon creates and starts a daemon attached to the network. peers
+// lists every daemon name in the configuration (like Spread's segment
+// configuration); the daemon starts in a singleton view and merges with
+// peers it hears from.
+func NewDaemon(name string, peers []string, net transport.Network, cfg Config) (*Daemon, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty daemon name", ErrBadName)
+	}
+	d := &Daemon{
+		name:         name,
+		cfg:          cfg.withDefaults(),
+		peers:        slices.Clone(peers),
+		inbox:        make(chan inboundMsg, 16384),
+		acts:         make(chan func(), 1024),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		lastHeard:    make(map[string]time.Time),
+		seenLTS:      make(map[string]uint64),
+		stable:       make(map[string]uint64),
+		deliveredSeq: make(map[string]uint64),
+		pending:      make(map[string][]*dataMsg),
+		retained:     make(map[msgKey]*dataMsg),
+		groups:       make(map[string]*group),
+		prevGroups:   make(map[string]*group),
+		clients:      make(map[string]*Client),
+	}
+	if !slices.Contains(d.peers, name) {
+		d.peers = append(d.peers, name)
+	}
+	sort.Strings(d.peers)
+
+	node, err := net.Attach(name, transport.HandlerFunc(d.handleTransport))
+	if err != nil {
+		return nil, fmt.Errorf("attach daemon %s: %w", name, err)
+	}
+	d.node = node
+
+	// Start in a singleton view.
+	d.maxEpoch = 1
+	d.view = View{ID: ViewID{Epoch: 1, Coord: name}, Members: []string{name}}
+	d.stateWait = map[string]bool{}
+	d.stateEntries = map[string][]stateEntry{}
+	d.stateSeqs = map[string]uint64{}
+	if d.cfg.DaemonKeying {
+		d.sec = newDaemonSec(d.cfg.DaemonKeyProto, d.cfg.DaemonKeySuite)
+		d.secReset()
+	}
+
+	go d.run()
+	return d, nil
+}
+
+// Name returns the daemon's name.
+func (d *Daemon) Name() string { return d.name }
+
+// Stop shuts the daemon down and disconnects its clients.
+func (d *Daemon) Stop() {
+	select {
+	case <-d.stop:
+		return
+	default:
+	}
+	close(d.stop)
+	<-d.done
+}
+
+// CurrentView returns the daemon's installed view (for tests and tools).
+func (d *Daemon) CurrentView() View {
+	ch := make(chan View, 1)
+	if err := d.do(func() {
+		ch <- View{ID: d.view.ID, Members: slices.Clone(d.view.Members)}
+	}); err != nil {
+		return View{}
+	}
+	return <-ch
+}
+
+// do runs fn on the event loop and waits for it to be picked up.
+func (d *Daemon) do(fn func()) error {
+	doneCh := make(chan struct{})
+	wrapped := func() {
+		fn()
+		close(doneCh)
+	}
+	select {
+	case d.acts <- wrapped:
+	case <-d.stop:
+		return ErrStopped
+	}
+	select {
+	case <-doneCh:
+		return nil
+	case <-d.done:
+		return ErrStopped
+	}
+}
+
+func (d *Daemon) handleTransport(from string, data []byte) {
+	select {
+	case d.inbox <- inboundMsg{from: from, data: data}:
+	case <-d.stop:
+	}
+}
+
+// run is the daemon event loop.
+func (d *Daemon) run() {
+	defer close(d.done)
+	defer d.node.Close()
+	ticker := time.NewTicker(d.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			d.shutdownClients()
+			return
+		case in := <-d.inbox:
+			msg, err := decodeWire(in.data)
+			if err != nil {
+				continue // corrupt frame: drop
+			}
+			d.dispatch(in.from, msg)
+		case fn := <-d.acts:
+			fn()
+		case <-ticker.C:
+			d.tick()
+		}
+	}
+}
+
+func (d *Daemon) shutdownClients() {
+	for _, c := range d.clients {
+		c.close(ErrStopped)
+	}
+	d.clients = map[string]*Client{}
+}
+
+func (d *Daemon) dispatch(from string, m *wireMsg) {
+	d.lastHeard[from] = time.Now()
+	switch m.Kind {
+	case kindHeartbeat:
+		d.onHeartbeat(from, m.HB)
+	case kindData:
+		d.onData(m.Data)
+	case kindPropose:
+		d.onPropose(from, m.Prop)
+	case kindSync:
+		d.onSync(from, m.Sync)
+	case kindSyncAck:
+		d.onSyncAck(from, m.SyncAck)
+	case kindInstall:
+		d.onInstall(from, m.Install)
+	case kindSecAnnounce:
+		d.onSecAnnounce(from, m.Sec)
+	case kindSecKGA:
+		d.onSecKGA(from, m.Sec)
+	case kindSecData:
+		d.onSecData(from, m.Sec)
+	}
+}
+
+// tick drives heartbeats, failure detection and protocol timeouts.
+func (d *Daemon) tick() {
+	now := time.Now()
+
+	// Heartbeats go to every configured peer: within the view they
+	// advance the agreed-delivery horizon; outside they are the
+	// discovery mechanism for merges.
+	hb := &wireMsg{Kind: kindHeartbeat, HB: &hbMsg{
+		View:   d.view.ID,
+		LTS:    d.lts,
+		Stable: d.receiveHorizon(),
+	}}
+	data, err := encodeWire(hb)
+	if err == nil {
+		for _, p := range d.peers {
+			if p != d.name {
+				_ = d.node.Send(p, data)
+			}
+		}
+	}
+
+	// Failure detection: a silent view member triggers a membership
+	// change.
+	if !d.form.active {
+		for _, member := range d.view.Members {
+			if member == d.name {
+				continue
+			}
+			heard, ok := d.lastHeard[member]
+			if !ok || now.Sub(heard) > d.cfg.SuspectAfter {
+				d.startForming()
+				break
+			}
+		}
+	}
+
+	d.formingTimers(now)
+	d.gcRetained()
+}
+
+// receiveHorizon is the LTS through which this daemon has received every
+// message from every view member (FIFO links make per-sender horizons
+// prefix-complete).
+func (d *Daemon) receiveHorizon() uint64 {
+	h := d.lts
+	for _, member := range d.view.Members {
+		if member == d.name {
+			continue
+		}
+		if s := d.seenLTS[member]; s < h {
+			h = s
+		}
+	}
+	return h
+}
+
+// stabilityHorizon is the LTS through which every view member has received
+// everything; retained messages at or below it can never be needed for
+// recovery.
+func (d *Daemon) stabilityHorizon() uint64 {
+	h := d.receiveHorizon()
+	for _, member := range d.view.Members {
+		if member == d.name {
+			continue
+		}
+		if s := d.stable[member]; s < h {
+			h = s
+		}
+	}
+	return h
+}
+
+func (d *Daemon) gcRetained() {
+	if len(d.retained) == 0 {
+		return
+	}
+	h := d.stabilityHorizon()
+	for k, m := range d.retained {
+		if m.LTS <= h {
+			delete(d.retained, k)
+		}
+	}
+}
+
+func (d *Daemon) onHeartbeat(from string, hb *hbMsg) {
+	if hb == nil {
+		return
+	}
+	if hb.LTS > d.lts {
+		d.lts = hb.LTS
+	}
+	inView := slices.Contains(d.view.Members, from)
+	if inView && hb.View == d.view.ID {
+		if hb.LTS > d.seenLTS[from] {
+			d.seenLTS[from] = hb.LTS
+			d.tryDeliver()
+		}
+		if hb.Stable > d.stable[from] {
+			d.stable[from] = hb.Stable
+		}
+		return
+	}
+	// A daemon outside our view means a merge is possible; a view member
+	// whose view moved AHEAD of ours installed a view without us. Either
+	// way the membership must change. Heartbeats still carrying an older
+	// view are just in flight from before our install and must not
+	// re-trigger formation (ping-pong churn).
+	if inView && !d.view.ID.Less(hb.View) {
+		return
+	}
+	if !d.form.active {
+		d.startForming()
+	}
+}
+
+// bumpLTS advances the Lamport clock for a locally originated message.
+func (d *Daemon) bumpLTS() uint64 {
+	d.lts++
+	return d.lts
+}
+
+// broadcastData originates a data message in the current view: it is
+// delivered locally through the same path as remote messages and sent to
+// every other view member. Under daemon keying, outbound traffic is held
+// until the view is keyed and then travels encrypted.
+//
+// While a membership change is in flight (forming, frozen, or a state
+// exchange), everything except the state exchange itself is deferred:
+// a message originated after this daemon contributed its delivery cut
+// would be dropped by every frozen receiver AND missing from the cut —
+// silently lost. Deferred payloads replay when the configuration
+// stabilizes.
+func (d *Daemon) broadcastData(p payload) {
+	if p.Kind != payGroupState && (d.form.active || d.form.frozen || len(d.stateWait) > 0) {
+		d.queuedOps = append(d.queuedOps, queuedOp{p: p})
+		return
+	}
+	if d.sec != nil && !d.sec.ready {
+		d.sec.held = append(d.sec.held, p)
+		return
+	}
+	d.seq++
+	d.counters.msgsSent++
+	m := &dataMsg{
+		View:   d.view.ID,
+		Sender: d.name,
+		Seq:    d.seq,
+		LTS:    d.bumpLTS(),
+		P:      p,
+	}
+	wire, err := encodeWire(&wireMsg{Kind: kindData, Data: m})
+	if err == nil {
+		out := &wireMsg{Kind: kindData, Data: m}
+		if d.sec != nil && d.sec.suite != nil {
+			if sealed, serr := d.secSeal(wire); serr == nil {
+				out = sealed
+			}
+		}
+		enc, eerr := encodeWire(out)
+		if eerr == nil {
+			for _, member := range d.view.Members {
+				if member != d.name {
+					_ = d.node.Send(member, enc)
+				}
+			}
+		}
+	}
+	d.onData(m)
+}
+
+// onData accepts a data message into the per-sender pending queue and
+// attempts delivery.
+func (d *Daemon) onData(m *dataMsg) {
+	if m == nil {
+		return
+	}
+	if m.View != d.view.ID {
+		// Messages from views we have not installed yet are buffered;
+		// messages from superseded views are dropped (their delivery
+		// cut already closed).
+		if d.view.ID.Less(m.View) {
+			d.futureMsgs = append(d.futureMsgs, m)
+		}
+		return
+	}
+	if d.form.frozen {
+		// We already contributed our delivery-cut state; late old-view
+		// messages are recovered from the union or lost for everyone.
+		return
+	}
+	d.acceptData(m)
+	d.tryDeliver()
+	// Agreed-class delivery waits until every member's clock passes the
+	// message timestamp. Echo a heartbeat immediately (rate-limited) so
+	// idle members advance the horizon in one round trip rather than one
+	// heartbeat interval.
+	if m.ordered() && d.hasPendingOrdered() {
+		d.echoHeartbeat()
+	}
+}
+
+// hasPendingOrdered reports whether any agreed-class message is awaiting
+// the delivery horizon.
+func (d *Daemon) hasPendingOrdered() bool {
+	for _, q := range d.pending {
+		if len(q) > 0 && q[0].ordered() {
+			return true
+		}
+	}
+	return false
+}
+
+// echoHeartbeat sends an out-of-schedule heartbeat to the view members,
+// at most once per quarter heartbeat interval.
+func (d *Daemon) echoHeartbeat() {
+	now := time.Now()
+	if now.Sub(d.lastEcho) < d.cfg.Heartbeat/4 {
+		return
+	}
+	d.lastEcho = now
+	hb := &wireMsg{Kind: kindHeartbeat, HB: &hbMsg{
+		View:   d.view.ID,
+		LTS:    d.lts,
+		Stable: d.receiveHorizon(),
+	}}
+	data, err := encodeWire(hb)
+	if err != nil {
+		return
+	}
+	for _, member := range d.view.Members {
+		if member != d.name {
+			_ = d.node.Send(member, data)
+		}
+	}
+}
+
+// acceptData inserts a message into the pending structures (idempotent).
+func (d *Daemon) acceptData(m *dataMsg) {
+	if m.LTS > d.lts {
+		d.lts = m.LTS
+	}
+	if m.LTS > d.seenLTS[m.Sender] {
+		d.seenLTS[m.Sender] = m.LTS
+	}
+	if m.Seq <= d.deliveredSeq[m.Sender] {
+		return // already delivered
+	}
+	if _, dup := d.retained[m.key()]; dup {
+		return
+	}
+	q := d.pending[m.Sender]
+	pos, found := sort.Find(len(q), func(i int) int {
+		switch {
+		case m.Seq < q[i].Seq:
+			return -1
+		case m.Seq > q[i].Seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	if found {
+		return
+	}
+	d.pending[m.Sender] = slices.Insert(q, pos, m)
+}
+
+// tryDeliver delivers every message whose ordering constraints are met:
+// per-sender contiguous sequence numbers always; for AGREED-class traffic,
+// global (LTS, sender) order up to the horizon every member has passed.
+func (d *Daemon) tryDeliver() {
+	for {
+		progressed := false
+
+		// FIFO-class heads deliver as soon as they are contiguous.
+		for sender, q := range d.pending {
+			for len(q) > 0 && q[0].Seq == d.deliveredSeq[sender]+1 && !q[0].ordered() {
+				d.deliver(q[0])
+				q = q[1:]
+				progressed = true
+			}
+			d.pending[sender] = q
+		}
+
+		// AGREED-class heads deliver in (LTS, sender) order once every
+		// view member's clock has passed their timestamp.
+		horizon := d.receiveHorizon()
+		var best *dataMsg
+		for sender, q := range d.pending {
+			if len(q) == 0 || q[0].Seq != d.deliveredSeq[sender]+1 {
+				continue
+			}
+			m := q[0]
+			if m.LTS > horizon {
+				continue
+			}
+			if best == nil || m.LTS < best.LTS || (m.LTS == best.LTS && m.Sender < best.Sender) {
+				best = m
+			}
+		}
+		if best != nil {
+			d.pending[best.Sender] = d.pending[best.Sender][1:]
+			d.deliver(best)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// deliver commits a message: it is retained for view-change recovery and
+// its payload is processed (or buffered during a state exchange).
+func (d *Daemon) deliver(m *dataMsg) {
+	d.counters.msgsDelivered++
+	d.deliveredSeq[m.Sender] = m.Seq
+	d.retained[m.key()] = m
+	if len(d.stateWait) > 0 && m.P.Kind != payGroupState {
+		d.bufferedMsgs = append(d.bufferedMsgs, m)
+		return
+	}
+	d.processPayload(m)
+}

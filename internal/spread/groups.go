@@ -1,0 +1,388 @@
+package spread
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"sort"
+)
+
+// debugGroups enables stderr tracing of group mutations (SPREAD_DEBUG=1).
+var debugGroups = os.Getenv("SPREAD_DEBUG") != ""
+
+func dbg(format string, args ...any) {
+	if debugGroups {
+		fmt.Fprintf(os.Stderr, "SPREAD "+format+"\n", args...)
+	}
+}
+
+// group is a lightweight process group as known by a daemon. All daemons
+// converge on identical group state because every mutation is delivered in
+// the agreed total order.
+type group struct {
+	name    string
+	members []Member // sorted by stamp: oldest first
+	viewSeq uint64
+}
+
+func (g *group) clone() *group {
+	return &group{name: g.name, members: slices.Clone(g.members), viewSeq: g.viewSeq}
+}
+
+func (g *group) names() []string {
+	out := make([]string, len(g.members))
+	for i, m := range g.members {
+		out[i] = m.Name
+	}
+	return out
+}
+
+func (g *group) index(member string) int {
+	return slices.IndexFunc(g.members, func(m Member) bool { return m.Name == member })
+}
+
+func (g *group) insert(m Member) {
+	pos := sort.Search(len(g.members), func(i int) bool { return m.Stamp.Less(g.members[i].Stamp) })
+	g.members = slices.Insert(g.members, pos, m)
+}
+
+// processPayload routes a delivered message. When silent is true (cascaded
+// view changes replaying a previous state-exchange window), group
+// mutations are applied without emitting view events: the events are
+// derived from per-client diffs when the next state exchange finalizes.
+func (d *Daemon) processPayload(m *dataMsg) {
+	d.applyPayload(m, false)
+}
+
+func (d *Daemon) applyPayload(m *dataMsg, silent bool) {
+	switch m.P.Kind {
+	case payClientData:
+		d.deliverData(m)
+	case payGroupJoin:
+		d.applyJoin(m, silent)
+	case payGroupLeave:
+		d.applyLeave(m, silent)
+	case payGroupState:
+		d.onGroupState(m)
+	}
+}
+
+// deliverData hands an application message to the local members of its
+// group (or to the unicast destination only).
+func (d *Daemon) deliverData(m *dataMsg) {
+	g, ok := d.groups[m.P.Group]
+	if !ok {
+		return
+	}
+	ev := DataEvent{
+		Group:   m.P.Group,
+		Sender:  m.P.Member,
+		Service: m.P.Service,
+		Data:    m.P.Data,
+	}
+	for _, mem := range g.members {
+		if mem.Daemon != d.name {
+			continue
+		}
+		if m.P.DstMember != "" && mem.Name != m.P.DstMember {
+			continue
+		}
+		if c, ok := d.clients[mem.Name]; ok {
+			d.emit(c, ev)
+		}
+	}
+}
+
+func (d *Daemon) applyJoin(m *dataMsg, silent bool) {
+	name := m.P.Group
+	g := d.groups[name]
+	if g == nil {
+		g = &group{name: name, viewSeq: d.stateSeqs[name]}
+		d.groups[name] = g
+	}
+	if g.index(m.P.Member) >= 0 {
+		return // duplicate join
+	}
+	// The stamp orders members by the agreed delivery order of their join
+	// events. It must be identical at every daemon and strictly
+	// increasing per group, so it uses the group's event sequence number
+	// — NOT the sender's Lamport clock, which can collide across
+	// concurrent joins from different daemons.
+	g.viewSeq++
+	g.insert(Member{
+		Name:   m.P.Member,
+		Daemon: m.Sender,
+		Stamp:  Stamp{Epoch: m.View.Epoch, LTS: g.viewSeq, Name: m.P.Member},
+	})
+	dbg("%s applyJoin grp=%s member=%s stamp={%d %d} silent=%v members=%v",
+		d.name, g.name, m.P.Member, m.View.Epoch, g.viewSeq, silent, g.names())
+	if silent {
+		return
+	}
+	d.emitGroupChange(g, ReasonJoin, []string{m.P.Member}, nil)
+}
+
+func (d *Daemon) applyLeave(m *dataMsg, silent bool) {
+	g := d.groups[m.P.Group]
+	if g == nil {
+		return
+	}
+	idx := g.index(m.P.Member)
+	if idx < 0 {
+		return
+	}
+	leaver := g.members[idx]
+	g.members = slices.Delete(g.members, idx, idx+1)
+	g.viewSeq++
+	dbg("%s applyLeave grp=%s member=%s silent=%v members=%v", d.name, g.name, m.P.Member, silent, g.names())
+
+	// A voluntary leaver gets a final self-leave notification.
+	if leaver.Daemon == d.name {
+		if c, ok := d.clients[leaver.Name]; ok {
+			delete(c.lastSeen, g.name)
+			if !m.P.Disconnect {
+				d.emit(c, ViewEvent{
+					Group:  g.name,
+					ID:     GroupViewID{DaemonView: d.view.ID, Seq: g.viewSeq},
+					Reason: ReasonLeave,
+					Left:   []string{leaver.Name},
+				})
+			}
+		}
+	}
+
+	if len(g.members) == 0 {
+		// Remember the sequence so a re-created group's view ids do not
+		// regress.
+		d.stateSeqs[g.name] = g.viewSeq
+		delete(d.groups, g.name)
+		return
+	}
+	if silent {
+		return
+	}
+	reason := ReasonLeave
+	if m.P.Disconnect {
+		reason = ReasonDisconnect
+	}
+	d.emitGroupChange(g, reason, nil, []string{leaver.Name})
+}
+
+// emitGroupChange delivers a view event for a single join/leave to the
+// local members of the group.
+func (d *Daemon) emitGroupChange(g *group, reason ViewReason, joined, left []string) {
+	id := GroupViewID{DaemonView: d.view.ID, Seq: g.viewSeq}
+	names := g.names()
+	for _, mem := range g.members {
+		if mem.Daemon != d.name {
+			continue
+		}
+		c, ok := d.clients[mem.Name]
+		if !ok {
+			continue
+		}
+		r := reason
+		var transitional []string
+		if last, seen := c.lastSeen[g.name]; seen {
+			transitional = intersect(last, names)
+		} else {
+			// First view for this member.
+			r = ReasonInitial
+		}
+		c.lastSeen[g.name] = slices.Clone(names)
+		d.emit(c, ViewEvent{
+			Group:        g.name,
+			ID:           id,
+			Members:      slices.Clone(g.members),
+			Transitional: transitional,
+			Joined:       slices.Clone(joined),
+			Left:         slices.Clone(left),
+			Reason:       r,
+		})
+	}
+}
+
+// onGroupState records a state-exchange contribution; when the last one
+// arrives the new group topology is finalized.
+func (d *Daemon) onGroupState(m *dataMsg) {
+	if !d.stateWait[m.Sender] {
+		return
+	}
+	d.stateEntries[m.Sender] = m.P.State
+	delete(d.stateWait, m.Sender)
+	if len(d.stateWait) == 0 {
+		d.finalizeStateExchange()
+	}
+}
+
+// finalizeStateExchange rebuilds group state from the collected entries,
+// restamps merged members so every daemon agrees on the canonical member
+// order (base component first, merged members at the tail), emits view
+// events against each local client's last-seen view, and replays deferred
+// traffic.
+func (d *Daemon) finalizeStateExchange() {
+	type memberEntry struct {
+		m    Member
+		comp ViewID
+	}
+	byGroup := make(map[string][]memberEntry)
+	seqs := make(map[string]uint64)
+	daemons := make([]string, 0, len(d.stateEntries))
+	for daemon := range d.stateEntries {
+		daemons = append(daemons, daemon)
+	}
+	sort.Strings(daemons)
+	for _, daemon := range daemons {
+		for _, e := range d.stateEntries[daemon] {
+			byGroup[e.Group] = append(byGroup[e.Group], memberEntry{
+				m:    Member{Name: e.Member, Daemon: e.Daemon, Stamp: e.Stamp},
+				comp: e.PrevView,
+			})
+			if e.ViewSeq > seqs[e.Group] {
+				seqs[e.Group] = e.ViewSeq
+			}
+		}
+	}
+
+	newGroups := make(map[string]*group, len(byGroup))
+	restampedBy := make(map[string][]string)
+	for name, entries := range byGroup {
+		// Base component: the one holding the globally oldest member.
+		base := entries[0]
+		for _, e := range entries[1:] {
+			if e.m.Stamp.Less(base.m.Stamp) {
+				base = e
+			}
+		}
+		var merged []memberEntry
+		g := &group{name: name}
+		for _, e := range entries {
+			if e.comp == base.comp {
+				g.insert(e.m)
+				continue
+			}
+			merged = append(merged, e)
+		}
+		// Merged members are re-stamped into the tail, keeping their
+		// relative age order; all daemons derive identical stamps. The
+		// stamp scale is the group's event sequence (like joins): the
+		// emit below bumps viewSeq to seqs+1, so (epoch, seqs+1, i)
+		// follows every existing stamp and precedes every later join.
+		sort.Slice(merged, func(i, j int) bool { return merged[i].m.Stamp.Less(merged[j].m.Stamp) })
+		for i, e := range merged {
+			e.m.Stamp = Stamp{Epoch: d.view.ID.Epoch, LTS: seqs[name] + 1, Sub: uint64(i), Name: e.m.Name}
+			g.insert(e.m)
+			restampedBy[name] = append(restampedBy[name], e.m.Name)
+		}
+		g.viewSeq = seqs[name]
+		newGroups[name] = g
+	}
+
+	d.groups = newGroups
+	d.stateEntries = make(map[string][]stateEntry)
+	// Merge rather than replace: sequence memory for currently-empty
+	// groups must survive so re-created groups never reuse view ids.
+	for k, v := range seqs {
+		if v > d.stateSeqs[k] {
+			d.stateSeqs[k] = v
+		}
+	}
+
+	// Emit view events to local clients whose view of a group changed.
+	names := make([]string, 0, len(newGroups))
+	for name := range newGroups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.emitMergedView(newGroups[name], restampedBy[name])
+	}
+
+	// Local clients whose groups vanished entirely cannot exist (their
+	// own daemon reports them), so no removal events are needed here.
+
+	// Replay traffic deferred during the exchange, then client ops
+	// deferred during the membership change.
+	buffered := d.bufferedMsgs
+	d.bufferedMsgs = nil
+	for _, m := range buffered {
+		d.processPayload(m)
+	}
+	ops := d.queuedOps
+	d.queuedOps = nil
+	for _, op := range ops {
+		d.broadcastData(op.p)
+	}
+}
+
+// emitMergedView emits the post-view-change group view to local members,
+// diffing against each client's last-seen membership. The global Joined
+// list (the restamped tail) is identical at every daemon; Left is
+// component-local, which is exactly what the survivors' key agreement
+// needs.
+func (d *Daemon) emitMergedView(g *group, restamped []string) {
+	dbg("%s emitMergedView grp=%s members=%v restamped=%v", d.name, g.name, g.names(), restamped)
+	// The bump is unconditional so every daemon keeps identical view
+	// sequence numbers, whether or not it hosts members of the group.
+	g.viewSeq++
+	names := g.names()
+	id := GroupViewID{DaemonView: d.view.ID, Seq: g.viewSeq}
+	for _, mem := range g.members {
+		if mem.Daemon != d.name {
+			continue
+		}
+		c, ok := d.clients[mem.Name]
+		if !ok {
+			continue
+		}
+		last, seen := c.lastSeen[g.name]
+		if seen && slices.Equal(last, names) && len(restamped) == 0 {
+			continue // nothing changed for this client
+		}
+		left := diff(last, names)
+		transitional := intersect(last, names)
+		var reason ViewReason
+		switch {
+		case !seen:
+			reason = ReasonInitial
+		case len(restamped) > 0 && len(left) > 0:
+			reason = ReasonPartitionMerge
+		case len(restamped) > 0:
+			reason = ReasonMerge
+		default:
+			reason = ReasonPartition
+		}
+		c.lastSeen[g.name] = slices.Clone(names)
+		d.emit(c, ViewEvent{
+			Group:        g.name,
+			ID:           id,
+			Members:      slices.Clone(g.members),
+			Transitional: transitional,
+			Joined:       slices.Clone(restamped),
+			Left:         left,
+			Reason:       reason,
+		})
+	}
+}
+
+// intersect returns the elements of a (in order) that also appear in b.
+func intersect(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		if slices.Contains(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// diff returns the elements of a (in order) missing from b.
+func diff(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		if !slices.Contains(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package spread
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestConcurrentJoinsAgreeOnOrder is the regression test for the stamp bug:
+// two members joining concurrently from different daemons must be ordered
+// identically at every daemon, with each join's member appended at the tail
+// of the list as of its delivery.
+func TestConcurrentJoinsAgreeOnOrder(t *testing.T) {
+	for iter := 0; iter < 5; iter++ {
+		c, err := NewCluster(3, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clients []*Client
+		for i := 0; i < 3; i++ {
+			cl, err := c.Daemons[i].Connect(fmt.Sprintf("u%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients = append(clients, cl)
+		}
+		// Join all at once: the agreed order decides seniority.
+		for _, cl := range clients {
+			if err := cl.Join("g"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := []string{clients[0].Name(), clients[1].Name(), clients[2].Name()}
+		slices.Sort(want)
+		var orders [][]string
+		for _, cl := range clients {
+			v := waitMembers(t, cl, "g", want)
+			orders = append(orders, v.MemberNames())
+			// Each view's Joined members must sit at the tail of the
+			// member list (the key agreement layer's invariant), unless
+			// they were merged in (restamped), which also appends.
+			names := v.MemberNames()
+			for _, j := range v.Joined {
+				idx := slices.Index(names, j)
+				if idx < 0 {
+					t.Fatalf("iter %d: joined member %s missing from %v", iter, j, names)
+				}
+			}
+		}
+		for _, o := range orders[1:] {
+			if !slices.Equal(o, orders[0]) {
+				t.Fatalf("iter %d: member orders diverged: %v vs %v", iter, orders[0], o)
+			}
+		}
+		c.Stop()
+	}
+}
+
+// TestDaemonCrashAndRecover exercises the crash-and-recover failure model:
+// a daemon fail-stops, its clients vanish, and a fresh daemon under the
+// same name rejoins the overlay and hosts new clients.
+func TestDaemonCrashAndRecover(t *testing.T) {
+	net := transport.NewMemNetwork()
+	names := []string{"d00", "d01", "d02"}
+	var daemons []*Daemon
+	for _, name := range names {
+		d, err := NewDaemon(name, names, net, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemons = append(daemons, d)
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.Stop()
+		}
+	}()
+	cluster := &Cluster{Net: net, Daemons: daemons}
+	if err := cluster.WaitStable(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := daemons[0].Connect("a")
+	b, _ := daemons[2].Connect("b")
+	a.Join("g")
+	b.Join("g")
+	want := []string{a.Name(), b.Name()}
+	waitMembers(t, a, "g", want)
+	waitMembers(t, b, "g", want)
+
+	// Crash d02 (hosting b).
+	daemons[2].Stop()
+	net.Crash("d02")
+	waitMembers(t, a, "g", []string{a.Name()})
+
+	// Recover: a new daemon process under the same name.
+	recovered, err := NewDaemon("d02", names, net, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemons[2] = recovered
+	if err := cluster.WaitStable(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new client on the recovered daemon joins the group.
+	b2, err := recovered.Connect("b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	want2 := []string{a.Name(), b2.Name()}
+	waitMembers(t, a, "g", want2)
+	waitMembers(t, b2, "g", want2)
+
+	// Traffic flows.
+	if err := a.Multicast(Agreed, "g", []byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	d := nextData(t, b2, "g")
+	if string(d.Data) != "recovered" {
+		t.Fatalf("got %q", d.Data)
+	}
+}
+
+// TestTCPDaemonOverlay runs a three-daemon overlay over real TCP sockets.
+func TestTCPDaemonOverlay(t *testing.T) {
+	// Bind three listeners on loopback to learn free ports, then hand the
+	// resolved address book to the daemons.
+	names := []string{"t00", "t01", "t02"}
+	addrs := make(map[string]string, len(names))
+	tn := transport.NewTCPNetwork(map[string]string{
+		"t00": "127.0.0.1:0", "t01": "127.0.0.1:0", "t02": "127.0.0.1:0",
+	})
+	// Attach probes to resolve ports, then close them and reuse the
+	// addresses for the daemons (small race risk, acceptable in tests).
+	for _, name := range names {
+		node, err := tn.Attach(name, transport.HandlerFunc(func(string, []byte) {}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := node.(interface{ ListenAddr() string }).ListenAddr()
+		addrs[name] = addr
+		node.Close()
+	}
+	net2 := transport.NewTCPNetwork(addrs)
+
+	var daemons []*Daemon
+	for _, name := range names {
+		d, err := NewDaemon(name, names, net2, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemons = append(daemons, d)
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.Stop()
+		}
+	}()
+	cluster := &Cluster{Net: nil, Daemons: daemons, cfg: testConfig().withDefaults()}
+	if err := cluster.WaitStable(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := daemons[0].Connect("a")
+	b, _ := daemons[1].Connect("b")
+	a.Join("g")
+	b.Join("g")
+	want := []string{a.Name(), b.Name()}
+	waitMembers(t, a, "g", want)
+	waitMembers(t, b, "g", want)
+	if err := a.Multicast(Agreed, "g", []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	d := nextData(t, b, "g")
+	if string(d.Data) != "over tcp" {
+		t.Fatalf("got %q", d.Data)
+	}
+}
+
+// TestChurnStress drives rapid join/leave churn while data flows and
+// checks that the group converges with consistent membership everywhere.
+func TestChurnStress(t *testing.T) {
+	c := newTestCluster(t, 3)
+	stable, _ := c.Daemons[0].Connect("anchor")
+	if err := stable.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	nextView(t, stable, "g")
+
+	// Churners join and leave in quick succession.
+	for round := 0; round < 3; round++ {
+		var churners []*Client
+		for i := 0; i < 4; i++ {
+			cl, err := c.Daemons[i%3].Connect(fmt.Sprintf("churn%d-%d", round, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			churners = append(churners, cl)
+			if err := cl.Join("g"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := stable.Multicast(Agreed, "g", []byte("mid-churn")); err != nil {
+			t.Fatal(err)
+		}
+		for _, cl := range churners {
+			if err := cl.Leave("g"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The anchor must converge back to a singleton view.
+		waitMembers(t, stable, "g", []string{stable.Name()})
+	}
+}
+
+// TestStampsStrictlyIncrease verifies the member-ordering invariant
+// directly: within any delivered view, stamps are strictly increasing.
+func TestStampsStrictlyIncrease(t *testing.T) {
+	c := newTestCluster(t, 2)
+	a, _ := c.Daemons[0].Connect("a")
+	b, _ := c.Daemons[1].Connect("b")
+	x, _ := c.Daemons[0].Connect("x")
+	for _, cl := range []*Client{a, b, x} {
+		if err := cl.Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{a.Name(), b.Name(), x.Name()}
+	slices.Sort(want)
+	v := waitMembers(t, a, "g", want)
+	for i := 1; i < len(v.Members); i++ {
+		if !v.Members[i-1].Stamp.Less(v.Members[i].Stamp) {
+			t.Fatalf("stamps not strictly increasing: %+v", v.Members)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package spread
+
+// Stats is a snapshot of a daemon's counters, for operations tooling and
+// the benchmark harness.
+type Stats struct {
+	// View is the installed daemon view.
+	View View
+	// ViewsInstalled counts membership changes since start.
+	ViewsInstalled int
+	// MsgsSent and MsgsDelivered count daemon-level data messages.
+	MsgsSent      int
+	MsgsDelivered int
+	// MsgsRecovered counts messages merged from delivery-cut unions.
+	MsgsRecovered int
+	// Groups is the number of known process groups.
+	Groups int
+	// Clients is the number of local client connections.
+	Clients int
+	// Retained is the current size of the recovery buffer.
+	Retained int
+	// DaemonKeyEpoch is the daemon-group key epoch (daemon keying model
+	// only; zero when disabled or not yet keyed).
+	DaemonKeyEpoch uint64
+}
+
+// statsCounters holds the loop-owned tallies behind Stats.
+type statsCounters struct {
+	viewsInstalled int
+	msgsSent       int
+	msgsDelivered  int
+	msgsRecovered  int
+}
+
+// Stats returns a snapshot of the daemon's counters.
+func (d *Daemon) Stats() Stats {
+	var out Stats
+	_ = d.do(func() {
+		out = Stats{
+			View:           View{ID: d.view.ID, Members: append([]string(nil), d.view.Members...)},
+			ViewsInstalled: d.counters.viewsInstalled,
+			MsgsSent:       d.counters.msgsSent,
+			MsgsDelivered:  d.counters.msgsDelivered,
+			MsgsRecovered:  d.counters.msgsRecovered,
+			Groups:         len(d.groups),
+			Clients:        len(d.clients),
+			Retained:       len(d.retained),
+		}
+		if d.sec != nil && d.sec.key != nil {
+			out.DaemonKeyEpoch = d.sec.key.Epoch
+		}
+	})
+	return out
+}

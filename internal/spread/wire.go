@@ -1,0 +1,173 @@
+package spread
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Daemon wire message kinds.
+type msgKind int
+
+const (
+	kindHeartbeat msgKind = iota + 1
+	kindData
+	kindPropose
+	kindSync
+	kindSyncAck
+	kindInstall
+	// Daemon-model security (Config.DaemonKeying).
+	kindSecAnnounce
+	kindSecKGA
+	kindSecData
+)
+
+// payloadKind classifies the content of a data message.
+type payloadKind int
+
+const (
+	payClientData payloadKind = iota + 1
+	payGroupJoin
+	payGroupLeave
+	payGroupState
+)
+
+// wireMsg is the single envelope exchanged between daemons.
+type wireMsg struct {
+	Kind msgKind
+
+	HB      *hbMsg
+	Data    *dataMsg
+	Prop    *proposeMsg
+	Sync    *syncMsg
+	SyncAck *syncAckMsg
+	Install *installMsg
+	Sec     *secMsg
+}
+
+// hbMsg is a heartbeat: it advertises liveness, advances the Lamport
+// horizon for agreed delivery, and carries the stability horizon used to
+// garbage-collect retained messages.
+type hbMsg struct {
+	View   ViewID
+	LTS    uint64
+	Stable uint64 // all messages with LTS <= Stable have been delivered here
+}
+
+// dataMsg carries client traffic or group bookkeeping within a view.
+type dataMsg struct {
+	View   ViewID
+	Sender string // daemon name
+	Seq    uint64 // per-sender, per-view, starts at 1
+	LTS    uint64 // strictly increasing per sender
+	P      payload
+}
+
+func (m *dataMsg) key() msgKey { return msgKey{Sender: m.Sender, Seq: m.Seq} }
+
+// ordered reports whether the message must be delivered in the global
+// agreed order. All group bookkeeping (joins, leaves, state exchange) is
+// agreed-ordered regardless of service level: every daemon must apply
+// membership mutations in the same sequence or group state diverges.
+// Client data follows its requested service level.
+func (m *dataMsg) ordered() bool {
+	return m.P.Kind != payClientData || m.P.Service.ordered()
+}
+
+type msgKey struct {
+	Sender string
+	Seq    uint64
+}
+
+// payload is the daemon-level content of a data message.
+type payload struct {
+	Kind payloadKind
+
+	// Client data and group changes.
+	Group     string
+	Member    string // acting member (sender of data, joiner, leaver)
+	DstMember string // unicast destination; empty = multicast
+	Service   Service
+	Data      []byte
+
+	// Leave bookkeeping: true when the leave is a client disconnect
+	// rather than a voluntary group leave.
+	Disconnect bool
+
+	// Group state exchange after a daemon view change.
+	State []stateEntry
+}
+
+// stateEntry describes one local group membership in a GROUP_STATE
+// exchange message.
+type stateEntry struct {
+	Group  string
+	Member string
+	Daemon string
+	Stamp  Stamp
+	// PrevView is the daemon view the member's daemon belonged to
+	// before the change — its merge component.
+	PrevView ViewID
+	// ViewSeq is the group's last membership event sequence at the
+	// sending daemon, used to keep GroupViewID.Seq monotonic across
+	// merges.
+	ViewSeq uint64
+}
+
+// proposeMsg asks the coordinator to include the sender in the next view.
+type proposeMsg struct {
+	Round uint64
+}
+
+// syncMsg is the coordinator's view proposal to the gathered candidates.
+type syncMsg struct {
+	Round   uint64
+	Members []string
+}
+
+// syncAckMsg returns a candidate's old-view state for the delivery cut:
+// every old-view message it has seen (retained + pending). Under daemon
+// keying the messages travel sealed under the old view's daemon key, with
+// only the dedup metadata in the clear.
+type syncAckMsg struct {
+	Round   uint64
+	OldView ViewID
+	Msgs    []dataMsg
+	Sealed  []sealedData
+}
+
+// sealedData is a recovery entry whose payload only members of the old
+// view can decrypt.
+type sealedData struct {
+	Sender string
+	Seq    uint64
+	Frame  []byte
+}
+
+// installMsg commits the new view and carries the recovered old-view
+// message unions keyed by old view, so every member of a shared old view
+// delivers the same message set before installing (EVS).
+type installMsg struct {
+	Round     uint64
+	View      View
+	Recovered map[ViewID][]dataMsg
+	// RecoveredSealed carries daemon-keyed recovery entries; only
+	// members of the old view hold the key.
+	RecoveredSealed map[ViewID][]sealedData
+}
+
+func encodeWire(m *wireMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("encode wire message: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWire(data []byte) (*wireMsg, error) {
+	var m wireMsg
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("decode wire message: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,160 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness uses to aggregate timing samples: the paper averages batches of
+// 50 operations per data point, and the harness reports dispersion
+// alongside the mean so noisy points are visible.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrEmpty is returned when a computation needs at least one sample.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddDuration appends a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs)), nil
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator).
+func (s *Sample) Stddev() (float64, error) {
+	if len(s.xs) < 2 {
+		return 0, nil
+	}
+	m, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)-1)), nil
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range", p)
+	}
+	sorted := make([]float64, len(s.xs))
+	copy(sorted, s.xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() (float64, error) { return s.Percentile(50) }
+
+// MeanDuration returns the mean as a time.Duration, for samples built with
+// AddDuration.
+func (s *Sample) MeanDuration() (time.Duration, error) {
+	m, err := s.Mean()
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(m * float64(time.Second)), nil
+}
+
+// Summary formats n, mean, stddev, min and max on one line.
+func (s *Sample) Summary() string {
+	if len(s.xs) == 0 {
+		return "n=0"
+	}
+	mean, _ := s.Mean()
+	sd, _ := s.Stddev()
+	lo, _ := s.Min()
+	hi, _ := s.Max()
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.2g min=%.4g max=%.4g", len(s.xs), mean, sd, lo, hi)
+}
+
+// LinearFit returns the least-squares slope and intercept of y over x —
+// used to check the linear-in-n shape of the paper's cost curves.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, fmt.Errorf("stats: linear fit needs two equal-length series with >= 2 points")
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(x))
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x series")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}

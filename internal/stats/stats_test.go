@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if _, err := s.Mean(); !errors.Is(err, ErrEmpty) {
+		t.Fatal("mean of empty sample should fail")
+	}
+	if _, err := s.Min(); !errors.Is(err, ErrEmpty) {
+		t.Fatal("min of empty sample should fail")
+	}
+	if _, err := s.Percentile(50); !errors.Is(err, ErrEmpty) {
+		t.Fatal("percentile of empty sample should fail")
+	}
+	if s.Summary() != "n=0" {
+		t.Fatalf("summary = %q", s.Summary())
+	}
+}
+
+func TestBasicMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	m, err := s.Mean()
+	if err != nil || !almost(m, 5) {
+		t.Fatalf("mean = %v, %v", m, err)
+	}
+	sd, err := s.Stddev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(sd, want) {
+		t.Fatalf("stddev = %v, want %v", sd, want)
+	}
+	lo, _ := s.Min()
+	hi, _ := s.Max()
+	if lo != 2 || hi != 9 {
+		t.Fatalf("min/max = %v/%v", lo, hi)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	med, err := s.Median()
+	if err != nil || med != 3 {
+		t.Fatalf("median = %v, %v", med, err)
+	}
+	p25, _ := s.Percentile(25)
+	if p25 != 2 {
+		t.Fatalf("p25 = %v", p25)
+	}
+	p0, _ := s.Percentile(0)
+	p100, _ := s.Percentile(100)
+	if p0 != 1 || p100 != 5 {
+		t.Fatalf("p0/p100 = %v/%v", p0, p100)
+	}
+	// Interpolated percentile.
+	p10, _ := s.Percentile(10)
+	if !almost(p10, 1.4) {
+		t.Fatalf("p10 = %v, want 1.4", p10)
+	}
+	if _, err := s.Percentile(101); err == nil {
+		t.Fatal("percentile 101 should fail")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	if m, _ := s.Median(); m != 42 {
+		t.Fatalf("median = %v", m)
+	}
+	if sd, err := s.Stddev(); err != nil || sd != 0 {
+		t.Fatalf("stddev of single point = %v, %v", sd, err)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	var s Sample
+	s.AddDuration(100 * time.Millisecond)
+	s.AddDuration(300 * time.Millisecond)
+	d, err := s.MeanDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 200*time.Millisecond {
+		t.Fatalf("mean duration = %v", d)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{5, 8, 11, 14, 17} // y = 3x + 2
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(slope, 3) || !almost(intercept, 2) {
+		t.Fatalf("fit = %vx + %v", slope, intercept)
+	}
+	if _, _, err := LinearFit(x, y[:3]); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x should fail")
+	}
+}
+
+// Properties: mean is within [min, max]; percentile is monotone in p.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range xs {
+			// Skip pathological magnitudes whose sum overflows float64;
+			// the helpers target timing data, not the full float range.
+			if math.IsNaN(x) || math.Abs(x) > 1e300/float64(len(xs)) {
+				return true
+			}
+			s.Add(x)
+		}
+		m, err := s.Mean()
+		if err != nil {
+			return false
+		}
+		lo, _ := s.Min()
+		hi, _ := s.Max()
+		return m >= lo-1e-9*math.Abs(lo)-1e-9 && m <= hi+1e-9*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, err1 := s.Percentile(pa)
+		vb, err2 := s.Percentile(pb)
+		return err1 == nil && err2 == nil && va <= vb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

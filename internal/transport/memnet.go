@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-memory Network with controllable faults. It is the
+// testbed substitute: partitions split the endpoints into components that
+// cannot exchange messages; Heal undoes them; Crash drops an endpoint
+// entirely (fail-stop); latency delays every delivery by a fixed amount to
+// model LAN round trips.
+type MemNetwork struct {
+	mu      sync.Mutex
+	nodes   map[string]*memNode
+	comp    map[string]int // partition component per endpoint; same id = reachable
+	latency time.Duration
+	// DropRate, out of 1e6, drops messages at random when nonzero. Links
+	// stop being reliable, which the layers above must survive only via
+	// membership churn; used for fault-injection tests.
+	dropRate int
+	rngState uint64
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		nodes:    make(map[string]*memNode),
+		comp:     make(map[string]int),
+		rngState: 0x9e3779b97f4a7c15,
+	}
+}
+
+var _ Network = (*MemNetwork)(nil)
+
+// SetLatency sets the one-way delivery delay applied to every message.
+func (n *MemNetwork) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// SetDropRate sets the probability (out of 1e6) that a message is lost.
+func (n *MemNetwork) SetDropRate(perMillion int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate = perMillion
+}
+
+// Attach implements Network.
+func (n *MemNetwork) Attach(name string, h Handler) (Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrAttached, name)
+	}
+	node := &memNode{
+		net:     n,
+		name:    name,
+		handler: h,
+		queue:   make(chan delivery, 4096),
+		done:    make(chan struct{}),
+	}
+	n.nodes[name] = node
+	n.comp[name] = 0
+	go node.run()
+	return node, nil
+}
+
+// Partition splits the network into the given components: endpoints listed
+// together stay mutually reachable; endpoints in different groups (or not
+// listed) are cut off from each other. Unlisted endpoints each form their
+// own singleton component.
+func (n *MemNetwork) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next := 1
+	for name := range n.comp {
+		n.comp[name] = -next // unique singleton components by default
+		next++
+	}
+	for i, g := range groups {
+		for _, name := range g {
+			if _, ok := n.comp[name]; ok {
+				n.comp[name] = i + 1
+			}
+		}
+	}
+}
+
+// Heal reconnects every endpoint into one component.
+func (n *MemNetwork) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for name := range n.comp {
+		n.comp[name] = 0
+	}
+}
+
+// Crash fail-stops an endpoint: it is detached and all queued messages are
+// dropped. The name becomes reusable (crash-and-recover).
+func (n *MemNetwork) Crash(name string) {
+	n.mu.Lock()
+	node := n.nodes[name]
+	delete(n.nodes, name)
+	delete(n.comp, name)
+	n.mu.Unlock()
+	if node != nil {
+		node.stop()
+	}
+}
+
+// Reachable reports whether two endpoints can currently exchange messages.
+func (n *MemNetwork) Reachable(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ca, oka := n.comp[a]
+	cb, okb := n.comp[b]
+	return oka && okb && ca == cb
+}
+
+// xorshift PRNG for drop decisions (deterministic given call order; not
+// crypto, just fault injection).
+func (n *MemNetwork) dropLocked() bool {
+	if n.dropRate <= 0 {
+		return false
+	}
+	n.rngState ^= n.rngState << 13
+	n.rngState ^= n.rngState >> 7
+	n.rngState ^= n.rngState << 17
+	return int(n.rngState%1_000_000) < n.dropRate
+}
+
+type delivery struct {
+	from string
+	data []byte
+	at   time.Time
+}
+
+type memNode struct {
+	net     *MemNetwork
+	name    string
+	handler Handler
+
+	queue chan delivery
+	done  chan struct{}
+	once  sync.Once
+}
+
+var _ Node = (*memNode)(nil)
+
+func (m *memNode) Name() string { return m.name }
+
+// Send implements Node. Reachability and drops are evaluated at send time;
+// a partition that forms after a message is queued does not claw it back
+// (messages in flight may still arrive, as on a real network).
+func (m *memNode) Send(to string, data []byte) error {
+	n := m.net
+	n.mu.Lock()
+	dst, ok := n.nodes[to]
+	if !ok || n.comp[m.name] != n.comp[to] {
+		n.mu.Unlock()
+		return nil // unreachable: silent drop
+	}
+	if _, self := n.nodes[m.name]; !self {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.dropLocked() {
+		n.mu.Unlock()
+		return nil
+	}
+	at := time.Now().Add(n.latency)
+	n.mu.Unlock()
+
+	// Copy: the sender may reuse its buffer.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	select {
+	case dst.queue <- delivery{from: m.name, data: cp, at: at}:
+	case <-dst.done:
+	}
+	return nil
+}
+
+func (m *memNode) Close() error {
+	m.net.Crash(m.name)
+	return nil
+}
+
+func (m *memNode) stop() {
+	m.once.Do(func() { close(m.done) })
+}
+
+// run delivers queued messages in order, honoring per-message latency.
+func (m *memNode) run() {
+	for {
+		select {
+		case <-m.done:
+			return
+		case d := <-m.queue:
+			if wait := time.Until(d.at); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-m.done:
+					return
+				}
+			}
+			m.handler.HandleMessage(d.from, d.data)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNetwork is a Network over real TCP connections, for running daemons
+// across machines (cmd/spreadd). It is configured with a static address
+// book mapping endpoint names to host:port listen addresses, like the
+// paper's Spread configuration file.
+//
+// Reliability contract: a TCP connection gives FIFO reliable delivery while
+// it lives; on any error the connection is dropped and messages are lost
+// until a new dial succeeds — exactly the drop-on-unreachable semantics the
+// membership layer expects.
+type TCPNetwork struct {
+	mu    sync.Mutex
+	addrs map[string]string
+}
+
+// NewTCPNetwork creates a TCP transport with the given address book.
+func NewTCPNetwork(addrs map[string]string) *TCPNetwork {
+	book := make(map[string]string, len(addrs))
+	for k, v := range addrs {
+		book[k] = v
+	}
+	return &TCPNetwork{addrs: book}
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// Attach implements Network: it starts listening on the endpoint's
+// configured address.
+func (t *TCPNetwork) Attach(name string, h Handler) (Node, error) {
+	t.mu.Lock()
+	addr, ok := t.addrs[name]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address configured for %s", name)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	node := &tcpNode{
+		net:     t,
+		name:    name,
+		handler: h,
+		ln:      ln,
+		conns:   make(map[string]*tcpConn),
+		done:    make(chan struct{}),
+	}
+	go node.acceptLoop()
+	return node, nil
+}
+
+// Addr returns the configured address of an endpoint (for tests that bind
+// port 0 and need the resolved address, use the node's listener instead).
+func (t *TCPNetwork) Addr(name string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[name]
+}
+
+// SetAddr updates the address book (used by tests with dynamic ports).
+func (t *TCPNetwork) SetAddr(name, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[name] = addr
+}
+
+type tcpNode struct {
+	net     *TCPNetwork
+	name    string
+	handler Handler
+	ln      net.Listener
+
+	mu    sync.Mutex
+	conns map[string]*tcpConn
+	done  chan struct{}
+	once  sync.Once
+}
+
+var _ Node = (*tcpNode)(nil)
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writes
+	c  net.Conn
+}
+
+func (n *tcpNode) Name() string { return n.name }
+
+// ListenAddr returns the actual listen address (resolves port 0).
+func (n *tcpNode) ListenAddr() string { return n.ln.Addr().String() }
+
+func (n *tcpNode) Send(to string, data []byte) error {
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	conn, err := n.connTo(to)
+	if err != nil {
+		return nil // unreachable: silent drop
+	}
+	if err := writeFrame(conn, n.name, data); err != nil {
+		n.dropConn(to, conn)
+	}
+	return nil
+}
+
+func (n *tcpNode) connTo(to string) (*tcpConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+
+	n.net.mu.Lock()
+	addr, ok := n.net.addrs[to]
+	n.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for %s", to)
+	}
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{c: raw}
+
+	n.mu.Lock()
+	if existing, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	n.conns[to] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+func (n *tcpNode) dropConn(to string, c *tcpConn) {
+	n.mu.Lock()
+	if n.conns[to] == c {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	_ = c.c.Close()
+}
+
+func (n *tcpNode) Close() error {
+	n.once.Do(func() {
+		close(n.done)
+		_ = n.ln.Close()
+		n.mu.Lock()
+		for _, c := range n.conns {
+			_ = c.c.Close()
+		}
+		n.conns = make(map[string]*tcpConn)
+		n.mu.Unlock()
+	})
+	return nil
+}
+
+func (n *tcpNode) acceptLoop() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go n.readLoop(conn)
+	}
+}
+
+func (n *tcpNode) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		from, data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		n.handler.HandleMessage(from, data)
+	}
+}
+
+const maxFrame = 64 << 20 // 64 MiB sanity cap
+
+// writeFrame sends [4-byte total][2-byte fromLen][from][data].
+func writeFrame(c *tcpConn, from string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [6]byte
+	total := 2 + len(from) + len(data)
+	binary.BigEndian.PutUint32(hdr[:4], uint32(total))
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(from)))
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(c.c, from); err != nil {
+		return err
+	}
+	_, err := c.c.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) (string, []byte, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	total := binary.BigEndian.Uint32(hdr[:4])
+	fromLen := int(binary.BigEndian.Uint16(hdr[4:]))
+	if total > maxFrame || int(total) < 2+fromLen {
+		return "", nil, fmt.Errorf("transport: bad frame header")
+	}
+	buf := make([]byte, int(total)-2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	return string(buf[:fromLen]), buf[fromLen:], nil
+}

@@ -1,0 +1,56 @@
+// Package transport provides the daemon-to-daemon messaging substrate for
+// the group communication system: reliable FIFO links between named
+// endpoints.
+//
+// Two implementations are provided. MemNetwork is an in-memory network with
+// fault injection (partitions, healing, crashes, per-link latency) — the
+// testbed substitute used by the test suite and the benchmark harness. The
+// TCP transport in tcp.go runs real daemons across machines.
+//
+// The contract both implementations honor: while two endpoints are mutually
+// reachable, messages between them are delivered reliably and in FIFO order
+// per sender; when they are not, messages are silently dropped (the
+// membership layer above detects the failure through heartbeats, as in the
+// paper's fail-stop / network-partition model).
+package transport
+
+import "errors"
+
+// Errors returned by transports.
+var (
+	ErrClosed   = errors.New("transport: endpoint closed")
+	ErrAttached = errors.New("transport: endpoint name already attached")
+)
+
+// Handler receives inbound messages on an endpoint. Implementations must be
+// safe for concurrent calls and must not block for long: delivery for a
+// link stalls while the handler runs.
+type Handler interface {
+	HandleMessage(from string, data []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from string, data []byte)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from string, data []byte) { f(from, data) }
+
+// Node is an attached endpoint that can send to peers by name.
+type Node interface {
+	// Name returns the endpoint's name.
+	Name() string
+	// Send queues data for delivery to the named peer. Unreachable or
+	// unknown peers cause a silent drop — never an error — matching the
+	// asynchronous-network model where senders cannot distinguish slow
+	// from dead.
+	Send(to string, data []byte) error
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Network attaches endpoints.
+type Network interface {
+	// Attach registers an endpoint and starts delivering inbound
+	// messages to h.
+	Attach(name string, h Handler) (Node, error)
+}

@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector accumulates received messages.
+type collector struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (c *collector) HandleMessage(from string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, from+":"+string(data))
+}
+
+func (c *collector) snapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.msgs))
+	copy(out, c.msgs)
+	return out
+}
+
+func (c *collector) waitFor(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := c.snapshot(); len(got) >= n {
+			return got
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d messages, have %v", n, c.snapshot())
+	return nil
+}
+
+func TestMemNetworkBasicDelivery(t *testing.T) {
+	net := NewMemNetwork()
+	var ca, cb collector
+	a, err := net.Attach("a", &ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach("b", &cb); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "a" {
+		t.Fatalf("Name = %s", a.Name())
+	}
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.waitFor(t, 1)
+	if got[0] != "a:hello" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMemNetworkFIFOPerSender(t *testing.T) {
+	net := NewMemNetwork()
+	var cb collector
+	a, err := net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach("b", &cb); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte(fmt.Sprintf("%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := cb.waitFor(t, n)
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("a:%04d", i)
+		if got[i] != want {
+			t.Fatalf("position %d: got %s, want %s", i, got[i], want)
+		}
+	}
+}
+
+func TestMemNetworkPartitionAndHeal(t *testing.T) {
+	net := NewMemNetwork()
+	var cb collector
+	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	net.Attach("b", &cb)
+
+	net.Partition([]string{"a"}, []string{"b"})
+	if net.Reachable("a", "b") {
+		t.Fatal("partitioned endpoints report reachable")
+	}
+	a.Send("b", []byte("lost"))
+	time.Sleep(20 * time.Millisecond)
+	if got := cb.snapshot(); len(got) != 0 {
+		t.Fatalf("message crossed a partition: %v", got)
+	}
+
+	net.Heal()
+	if !net.Reachable("a", "b") {
+		t.Fatal("healed endpoints report unreachable")
+	}
+	a.Send("b", []byte("through"))
+	got := cb.waitFor(t, 1)
+	if got[0] != "a:through" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMemNetworkUnlistedEndpointsAreSingletons(t *testing.T) {
+	net := NewMemNetwork()
+	net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	net.Attach("b", HandlerFunc(func(string, []byte) {}))
+	net.Attach("c", HandlerFunc(func(string, []byte) {}))
+	net.Partition([]string{"a", "b"})
+	if !net.Reachable("a", "b") {
+		t.Fatal("grouped endpoints unreachable")
+	}
+	if net.Reachable("a", "c") || net.Reachable("b", "c") {
+		t.Fatal("unlisted endpoint should be isolated")
+	}
+	if !net.Reachable("c", "c") {
+		t.Fatal("endpoint should reach itself")
+	}
+}
+
+func TestMemNetworkCrash(t *testing.T) {
+	net := NewMemNetwork()
+	var cb collector
+	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	net.Attach("b", &cb)
+	net.Crash("b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send to crashed node errored: %v", err)
+	}
+	// Crash-and-recover: the name is reusable.
+	if _, err := net.Attach("b", &cb); err != nil {
+		t.Fatalf("reattach after crash: %v", err)
+	}
+	a.Send("b", []byte("back"))
+	got := cb.waitFor(t, 1)
+	if got[0] != "a:back" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMemNetworkDuplicateAttach(t *testing.T) {
+	net := NewMemNetwork()
+	net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	if _, err := net.Attach("a", HandlerFunc(func(string, []byte) {})); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}
+
+func TestMemNetworkSenderBufferReuse(t *testing.T) {
+	net := NewMemNetwork()
+	var cb collector
+	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	net.Attach("b", &cb)
+	buf := []byte("first")
+	a.Send("b", buf)
+	copy(buf, "XXXXX")
+	got := cb.waitFor(t, 1)
+	if got[0] != "a:first" {
+		t.Fatalf("delivery aliased the sender's buffer: %v", got)
+	}
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	net := NewMemNetwork()
+	var cb collector
+	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	net.Attach("b", &cb)
+	net.SetLatency(30 * time.Millisecond)
+	start := time.Now()
+	a.Send("b", []byte("slow"))
+	cb.waitFor(t, 1)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("latency not applied: delivered in %v", elapsed)
+	}
+}
+
+func TestMemNetworkDropRate(t *testing.T) {
+	net := NewMemNetwork()
+	var cb collector
+	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	net.Attach("b", &cb)
+	net.SetDropRate(1_000_000) // drop everything
+	for i := 0; i < 50; i++ {
+		a.Send("b", []byte("x"))
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := cb.snapshot(); len(got) != 0 {
+		t.Fatalf("full drop rate still delivered %d messages", len(got))
+	}
+	net.SetDropRate(0)
+	a.Send("b", []byte("y"))
+	cb.waitFor(t, 1)
+}
+
+func TestMemNetworkClosedSender(t *testing.T) {
+	net := NewMemNetwork()
+	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
+	net.Attach("b", HandlerFunc(func(string, []byte) {}))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Fatal("send from closed endpoint should error")
+	}
+}
+
+func TestTCPNetworkDelivery(t *testing.T) {
+	tn := NewTCPNetwork(map[string]string{
+		"a": "127.0.0.1:0",
+		"b": "127.0.0.1:0",
+	})
+	var cb collector
+	na, err := tn.Attach("a", HandlerFunc(func(string, []byte) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := tn.Attach("b", &cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	// Rebind the address book with the resolved ports.
+	tn.SetAddr("a", na.(*tcpNode).ListenAddr())
+	tn.SetAddr("b", nb.(*tcpNode).ListenAddr())
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := na.Send("b", []byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := cb.waitFor(t, n)
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("a:%03d", i)
+		if got[i] != want {
+			t.Fatalf("position %d: got %s, want %s", i, got[i], want)
+		}
+	}
+}
+
+func TestTCPNetworkUnknownPeerDrops(t *testing.T) {
+	tn := NewTCPNetwork(map[string]string{"a": "127.0.0.1:0"})
+	na, err := tn.Attach("a", HandlerFunc(func(string, []byte) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	if err := na.Send("ghost", []byte("x")); err != nil {
+		t.Fatalf("send to unknown peer should silently drop, got %v", err)
+	}
+}
+
+func TestTCPNetworkPeerDownDrops(t *testing.T) {
+	tn := NewTCPNetwork(map[string]string{
+		"a": "127.0.0.1:0",
+		"b": "127.0.0.1:1", // nothing listens there
+	})
+	na, err := tn.Attach("a", HandlerFunc(func(string, []byte) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	if err := na.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send to down peer should silently drop, got %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package securespread_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/securespread"
+)
+
+// Example demonstrates the canonical usage pattern: start (or connect to)
+// a daemon cluster, join a secure group, wait for the SecureView, and
+// exchange encrypted messages. It has no deterministic output because
+// membership timing varies; the assertions live in the package tests.
+func Example() {
+	cluster, err := securespread.NewLocalCluster(3)
+	if err != nil {
+		fmt.Println("cluster:", err)
+		return
+	}
+	defer cluster.Stop()
+
+	alice, err := securespread.Connect(cluster.Daemons[0], "alice")
+	if err != nil {
+		fmt.Println("connect:", err)
+		return
+	}
+	if err := alice.JoinWith("chat", securespread.ProtoCliques, securespread.SuiteBlowfish); err != nil {
+		fmt.Println("join:", err)
+		return
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ev, ok := alice.Receive(time.Until(deadline))
+		if !ok {
+			break
+		}
+		switch e := ev.(type) {
+		case securespread.SecureView:
+			// The group re-keyed; it is now safe to talk.
+			_ = alice.Multicast("chat", []byte("hello, secure group"))
+		case securespread.Message:
+			_ = e // decrypted, authenticated payload from e.Sender
+			return
+		}
+	}
+}
