@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-exp
+
+## check: the full local gate — vet, build, tests, and the race suite on
+## the packages with concurrency-sensitive fast paths.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/dh ./internal/cliques ./internal/crypt
+
+## bench-exp: regenerate BENCH_exp.json (fixed-base speedup, batch-pool
+## scaling, Seal/Open pooling cost).
+bench-exp:
+	$(GO) test -run TestWriteBenchExpJSON -v .

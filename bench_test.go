@@ -10,11 +10,15 @@ package repro
 
 import (
 	"fmt"
+	"math/big"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	_ "repro/internal/ckd"
 	_ "repro/internal/cliques"
+	"repro/internal/crypt"
 	"repro/internal/dh"
 )
 
@@ -197,6 +201,177 @@ func BenchmarkAblationCipherThroughput(b *testing.B) {
 				b.ReportMetric(tp.MBPerSec, "MB/s")
 			})
 		}
+	}
+}
+
+// BenchmarkPowGFixedBase compares the generic square-and-multiply
+// exponentiation of the group generator against the precomputed fixed-base
+// comb table PowG now uses on the key-agreement hot path.
+func BenchmarkPowGFixedBase(b *testing.B) {
+	for _, bits := range []int{512, 1024} {
+		g, err := dh.GroupForBits(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Precompute()
+		exp := g.MustShare()
+		b.Run(fmt.Sprintf("generic/bits%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Exp(g.G, exp, nil, "")
+			}
+		})
+		b.Run(fmt.Sprintf("fixedbase/bits%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.PowG(exp, nil, "")
+			}
+		})
+	}
+}
+
+// BenchmarkExpBatchParallel measures a 16-entry batch of independent
+// exponentiations — the shape of a Cliques final broadcast or a CKD key
+// distribution for a 16-member group — at pool widths 1 through 8.
+func BenchmarkExpBatchParallel(b *testing.B) {
+	g, err := dh.GroupForBits(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 16
+	baseMap := make(map[string]*big.Int, n)
+	for i := 0; i < n; i++ {
+		baseMap[fmt.Sprintf("m%02d", i)] = g.PowG(g.MustShare(), nil, "")
+	}
+	exp := g.MustShare()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			prev := dh.SetBatchWorkers(w)
+			defer dh.SetBatchWorkers(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.ExpBatch(baseMap, exp, nil, "")
+			}
+		})
+	}
+}
+
+// BenchmarkSealOpenPooled measures one Seal+Open round trip per cipher
+// suite with the HMAC-state pooling fast path on and off. Allocation
+// counts are the interesting metric (b.ReportAllocs).
+func BenchmarkSealOpenPooled(b *testing.B) {
+	secret := []byte("benchmark-group-secret-material!")
+	for _, suite := range []string{"aes-cbc", "aes-ctr"} {
+		for _, pooled := range []bool{true, false} {
+			s, err := crypt.NewSuite(suite, secret, []byte("bench"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg := make([]byte, 1024)
+			name := fmt.Sprintf("%s/pooled", suite)
+			if !pooled {
+				name = fmt.Sprintf("%s/unpooled", suite)
+			}
+			b.Run(name, func(b *testing.B) {
+				prev := crypt.SetPooling(pooled)
+				defer crypt.SetPooling(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					frame, err := s.Seal(msg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.Open(frame); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWriteBenchExpJSON records the exponentiation fast-path performance —
+// fixed-base speedup, batch-pool scaling, and Seal/Open cost with pooling
+// on and off — to BENCH_exp.json so the perf trajectory is tracked in-repo.
+func TestWriteBenchExpJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping perf recording in -short mode")
+	}
+	rep := bench.ExpReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	for _, bits := range []int{512, 1024} {
+		g, err := dh.GroupForBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.PowG = append(rep.PowG, bench.MeasurePowG(g, 40))
+	}
+
+	g1024, err := dh.GroupForBits(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Batch = bench.MeasureExpBatch(g1024, 16, 10, []int{1, 2, 4, 8})
+
+	secret := []byte("benchmark-group-secret-material!")
+	for _, suite := range []string{"aes-cbc", "aes-ctr"} {
+		for _, pooled := range []bool{true, false} {
+			s, err := crypt.NewSuite(suite, secret, []byte("bench"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := make([]byte, 1024)
+			prev := crypt.SetPooling(pooled)
+			sealAllocs := testing.AllocsPerRun(200, func() {
+				if _, err := s.Seal(msg); err != nil {
+					t.Fatal(err)
+				}
+			})
+			frame, err := s.Seal(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			openAllocs := testing.AllocsPerRun(200, func() {
+				if _, err := s.Open(frame); err != nil {
+					t.Fatal(err)
+				}
+			})
+			const iters = 2000
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := s.Seal(msg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sealNs := time.Since(start).Nanoseconds() / iters
+			start = time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := s.Open(frame); err != nil {
+					t.Fatal(err)
+				}
+			}
+			openNs := time.Since(start).Nanoseconds() / iters
+			crypt.SetPooling(prev)
+
+			rep.SealOpen = append(rep.SealOpen, bench.SealOpenPoint{
+				Suite:      suite,
+				Size:       len(msg),
+				Pooled:     pooled,
+				SealNs:     sealNs,
+				OpenNs:     openNs,
+				SealAllocs: sealAllocs,
+				OpenAllocs: openAllocs,
+			})
+		}
+	}
+
+	if err := bench.WriteJSON("BENCH_exp.json", rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.PowG {
+		t.Logf("PowG %d-bit: generic %v, fixed %v (%.2fx)", p.Bits, p.Generic, p.Fixed, p.Speedup)
+	}
+	for _, p := range rep.Batch {
+		t.Logf("ExpBatch n=%d workers=%d: %v (%.2fx)", p.N, p.Workers, p.Total, p.Scaling)
 	}
 }
 

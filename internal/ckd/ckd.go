@@ -424,9 +424,9 @@ func (m *Member) distribute() (kga.Result, error) {
 	secret := m.g.PowG(ks, m.counter, dh.OpSessionKey)
 
 	members := m.pend.members
-	entries := make(map[string]*big.Int, len(members)-1)
 	macs := make(map[string][]byte, len(members)-1)
 	eAll := m.effectiveE()
+	exps := make(map[string]*big.Int, len(members)-1)
 	for _, name := range members {
 		if name == m.name {
 			continue
@@ -435,9 +435,16 @@ func (m *Member) distribute() (kga.Result, error) {
 		if !ok {
 			return kga.Result{}, fmt.Errorf("%w: no pairwise key with %s", ErrBadState, name)
 		}
-		// "Encryption of session key": Ks^(alpha^(r_1 r_i)).
-		entries[name] = m.g.Exp(secret, m.g.ReduceQ(e), m.counter, dh.OpKeyEncrypt)
-		macs[name] = auth.MACTag(eMACKey(e), entryCanon(m.name, name, entries[name], m.pend.targetEpoch))
+		exps[name] = m.g.ReduceQ(e)
+	}
+	// "Encryption of session key": Ks^(alpha^(r_1 r_i)) for each member —
+	// independent exponentiations, fanned across the batch worker pool.
+	entries := m.g.ExpBatchExps(secret, exps, m.counter, dh.OpKeyEncrypt)
+	for _, name := range members {
+		if name == m.name {
+			continue
+		}
+		macs[name] = auth.MACTag(eMACKey(eAll[name]), entryCanon(m.name, name, entries[name], m.pend.targetEpoch))
 	}
 	body := keyDistBody{
 		Members:     slices.Clone(members),

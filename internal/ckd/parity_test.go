@@ -1,0 +1,114 @@
+package ckd
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/dh"
+	"repro/internal/kga"
+	"repro/internal/kga/kgatest"
+)
+
+// runRekeyScenarios drives one full life of a CKD group — join growth,
+// single leave, mass leave taking the controller (the oldest member, under
+// CKD), merge of the healed partition, refresh, and a cascaded
+// join/leave/merge burst — returning per-step, per-member, per-label
+// exponentiation tallies and the epoch after each step.
+//
+// Secrets are random per run, so the parity test asserts agreement within
+// each run (MustRun) and identical accounting across serial and parallel
+// batch pools; bit-identical outputs for identical inputs are covered by
+// the dh-level batch tests.
+func runRekeyScenarios(t *testing.T) ([]map[string]map[string]int, []uint64) {
+	t.Helper()
+	net := kgatest.NewNet(t, ProtoName, testGroup)
+	var tallies []map[string]map[string]int
+	var epochs []uint64
+
+	record := func(parts []string, keys map[string]*kga.GroupKey) {
+		tally := make(map[string]map[string]int, len(parts))
+		for _, name := range parts {
+			tally[name] = net.Counters[name].Snapshot()
+		}
+		tallies = append(tallies, tally)
+		epochs = append(epochs, keys[parts[0]].Epoch)
+		net.ResetCounters()
+	}
+	remove := func(members []string, name string) []string {
+		out := slices.Clone(members)
+		if i := slices.Index(out, name); i >= 0 {
+			out = slices.Delete(out, i, i+1)
+		}
+		return out
+	}
+
+	// JOIN: found the group and grow to five members one join at a time.
+	keys := net.Grow([]string{"a", "b", "c", "d", "e"})
+	current := []string{"a", "b", "c", "d", "e"}
+	record(current, keys)
+
+	// LEAVE: a single member partitions away.
+	current = remove(current, "c")
+	keys = net.MustRun(kga.Event{Type: kga.EvLeave, Members: current, Left: []string{"c"}}, current)
+	record(current, keys)
+
+	// Mass LEAVE: a partition takes two members at once, including the
+	// CKD controller "a" — the controller-leave path.
+	current = remove(remove(current, "a"), "d")
+	keys = net.MustRun(kga.Event{Type: kga.EvLeave, Members: current, Left: []string{"a", "d"}}, current)
+	record(current, keys)
+
+	// MERGE: the heal brings two new members in one event.
+	for _, name := range []string{"f", "g"} {
+		net.Add(name)
+	}
+	current = append(current, "f", "g")
+	keys = net.MustRun(kga.Event{Type: kga.EvMerge, Members: current, Joined: []string{"f", "g"}}, current)
+	record(current, keys)
+
+	// REFRESH: re-key without a membership change.
+	keys = net.MustRun(kga.Event{Type: kga.EvRefresh, Members: current}, current)
+	record(current, keys)
+
+	// CASCADED: join, controller leave, and another merge back-to-back,
+	// tallied as one step.
+	net.Add("h")
+	current = append(current, "h")
+	net.MustRun(kga.Event{Type: kga.EvJoin, Members: current, Joined: []string{"h"}}, current)
+	oldest := current[0]
+	current = remove(current, oldest)
+	net.MustRun(kga.Event{Type: kga.EvLeave, Members: current, Left: []string{oldest}}, current)
+	net.Add("i")
+	current = append(current, "i")
+	keys = net.MustRun(kga.Event{Type: kga.EvMerge, Members: current, Joined: []string{"i"}}, current)
+	record(current, keys)
+
+	return tallies, epochs
+}
+
+// TestBatchParityAcrossScenarios runs every rekey scenario with the batch
+// exponentiation pool forced serial and again with eight workers, and
+// requires byte-identical exponentiation accounting and identical epoch
+// progression.
+func TestBatchParityAcrossScenarios(t *testing.T) {
+	prev := dh.SetBatchWorkers(1)
+	defer dh.SetBatchWorkers(prev)
+	serialTallies, serialEpochs := runRekeyScenarios(t)
+
+	dh.SetBatchWorkers(8)
+	parallelTallies, parallelEpochs := runRekeyScenarios(t)
+
+	if !reflect.DeepEqual(serialEpochs, parallelEpochs) {
+		t.Fatalf("epoch progression differs: serial %v, parallel %v", serialEpochs, parallelEpochs)
+	}
+	if len(serialTallies) != len(parallelTallies) {
+		t.Fatalf("step count differs: %d vs %d", len(serialTallies), len(parallelTallies))
+	}
+	for i := range serialTallies {
+		if !reflect.DeepEqual(serialTallies[i], parallelTallies[i]) {
+			t.Errorf("step %d: exponentiation counts diverge\nserial:   %v\nparallel: %v",
+				i, serialTallies[i], parallelTallies[i])
+		}
+	}
+}

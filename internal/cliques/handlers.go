@@ -87,12 +87,16 @@ func (m *Member) onJoinSeed(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, err
 	}
 
-	entries := make(map[string]*big.Int, len(old)+1)
+	// "Encryption of session key", n-1 times: fold our share into each
+	// member's partial. The entries are independent, so they fan out
+	// across the batch worker pool.
+	bases := make(map[string]*big.Int, len(old))
+	for _, name := range old {
+		bases[name] = body.Partials[name]
+	}
+	entries := m.g.ExpBatch(bases, share, m.counter, dh.OpKeyEncrypt)
 	macs := make(map[string][]byte, len(old))
 	for _, name := range old {
-		// "Encryption of session key", n-1 times: fold our share into
-		// each member's partial.
-		entries[name] = m.g.Exp(body.Partials[name], share, m.counter, dh.OpKeyEncrypt)
 		var k []byte
 		if name == controller {
 			k = kc
@@ -438,13 +442,12 @@ func (m *Member) onMergeFactorResp(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, nil
 	}
 
-	// All responses in: build the final partial set.
+	// All responses in: build the final partial set. The factored
+	// partials are independent, so the fold fans out across the batch
+	// worker pool.
 	share := m.pend.newShare
-	entries := make(map[string]*big.Int, len(m.pend.members))
 	macs := make(map[string][]byte, len(m.pend.members)-1)
-	for name, w := range m.pend.factors {
-		entries[name] = m.g.Exp(w, share, m.counter, dh.OpKeyEncrypt)
-	}
+	entries := m.g.ExpBatch(m.pend.factors, share, m.counter, dh.OpKeyEncrypt)
 	entries[m.name] = m.pend.u
 	secret := m.g.Exp(m.pend.u, share, m.counter, dh.OpSessionKey)
 

@@ -284,16 +284,17 @@ func (m *Member) evJoin(ev kga.Event) (kga.Result, error) {
 	newShare := mulQ(m.g, m.share, f)
 	m.pend.newShare = newShare
 
-	partials := make(map[string]*big.Int, len(old))
+	// The refresh touches every partial but our own; the n-2
+	// exponentiations are independent and fan out across the batch pool.
+	refresh := make(map[string]*big.Int, len(old)-1)
 	for _, name := range old {
-		if name == m.name {
-			// Our own partial excludes our share; the refresh does
-			// not touch it.
-			partials[name] = new(big.Int).Set(m.partials[name])
-			continue
+		if name != m.name {
+			refresh[name] = m.partials[name]
 		}
-		partials[name] = m.g.Exp(m.partials[name], f, m.counter, dh.OpShareUpdate)
 	}
+	partials := m.g.ExpBatch(refresh, f, m.counter, dh.OpShareUpdate)
+	// Our own partial excludes our share; the refresh does not touch it.
+	partials[m.name] = new(big.Int).Set(m.partials[m.name])
 	// The joiner's seed partial is the refreshed old group secret
 	// g^(N_1...N_(n-1)) — one more "update key share" exponentiation,
 	// for a controller total of n-1 (Table 2).
@@ -391,14 +392,17 @@ func (m *Member) startRekey(survivors, left []string, refresh bool) (kga.Result,
 	}
 	newShare := mulQ(m.g, m.share, f)
 
-	entries := make(map[string]*big.Int, len(survivors))
+	// Fold the fresh factor into every survivor's partial but our own —
+	// the exponentiations are independent and fan out across the batch
+	// pool.
+	toFold := make(map[string]*big.Int, len(survivors)-1)
 	for _, name := range survivors {
-		if name == m.name {
-			entries[name] = new(big.Int).Set(m.partials[name])
-			continue
+		if name != m.name {
+			toFold[name] = m.partials[name]
 		}
-		entries[name] = m.g.Exp(m.partials[name], f, m.counter, dh.OpShareUpdate)
 	}
+	entries := m.g.ExpBatch(toFold, f, m.counter, dh.OpShareUpdate)
+	entries[m.name] = new(big.Int).Set(m.partials[m.name])
 	secret := m.g.Exp(m.partials[m.name], newShare, m.counter, dh.OpSessionKey)
 
 	body := leaveBcastBody{

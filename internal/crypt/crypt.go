@@ -12,10 +12,8 @@ package crypt
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
-	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -112,9 +110,9 @@ func NewSuite(name string, secret, context []byte) (Suite, error) {
 // cbcSuite is the shared implementation of the CBC + HMAC-SHA256
 // encrypt-then-MAC suites.
 type cbcSuite struct {
-	name   string
-	block  cipher.Block
-	macKey []byte
+	name  string
+	block cipher.Block
+	mac   *macPool
 }
 
 const macSize = sha256.Size
@@ -148,7 +146,7 @@ func newCBC(name string, blk cipher.Block, km io.Reader) (Suite, error) {
 	if _, err := io.ReadFull(km, macKey); err != nil {
 		return nil, fmt.Errorf("derive mac key: %w", err)
 	}
-	return &cbcSuite{name: name, block: blk, macKey: macKey}, nil
+	return &cbcSuite{name: name, block: blk, mac: newMACPool(macKey)}, nil
 }
 
 func (s *cbcSuite) Name() string { return s.name }
@@ -160,18 +158,22 @@ func (s *cbcSuite) Overhead() int {
 
 func (s *cbcSuite) Seal(plaintext []byte) ([]byte, error) {
 	bs := s.block.BlockSize()
-	padded := pad(plaintext, bs)
-	frame := make([]byte, bs+len(padded)+macSize)
+	padN := bs - len(plaintext)%bs
+	bodyLen := bs + len(plaintext) + padN
+	// One allocation: the returned frame, padded in place and MACed into
+	// its spare capacity.
+	frame := make([]byte, bodyLen, bodyLen+macSize)
 	iv := frame[:bs]
 	if _, err := rand.Read(iv); err != nil {
 		return nil, fmt.Errorf("draw iv: %w", err)
 	}
-	ct := frame[bs : bs+len(padded)]
-	cipher.NewCBCEncrypter(s.block, iv).CryptBlocks(ct, padded)
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(frame[:bs+len(padded)])
-	mac.Sum(frame[:bs+len(padded)])
-	return frame, nil
+	padded := frame[bs:bodyLen]
+	copy(padded, plaintext)
+	for i := len(plaintext); i < len(padded); i++ {
+		padded[i] = byte(padN)
+	}
+	cipher.NewCBCEncrypter(s.block, iv).CryptBlocks(padded, padded)
+	return s.mac.appendTag(frame), nil
 }
 
 func (s *cbcSuite) Open(frame []byte) ([]byte, error) {
@@ -180,9 +182,7 @@ func (s *cbcSuite) Open(frame []byte) ([]byte, error) {
 		return nil, ErrShortFrame
 	}
 	body, tag := frame[:len(frame)-macSize], frame[len(frame)-macSize:]
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(body)
-	if subtle.ConstantTimeCompare(mac.Sum(nil), tag) != 1 {
+	if !s.mac.verify(body, tag) {
 		return nil, ErrAuth
 	}
 	ct := body[bs:]
@@ -197,8 +197,8 @@ func (s *cbcSuite) Open(frame []byte) ([]byte, error) {
 // ctrSuite is the stream-style encrypt-then-MAC suite: counter mode needs
 // no padding, so the frame is IV + len(plaintext) + MAC.
 type ctrSuite struct {
-	block  cipher.Block
-	macKey []byte
+	block cipher.Block
+	mac   *macPool
 }
 
 func newAESCTR(km io.Reader) (Suite, error) {
@@ -214,7 +214,7 @@ func newAESCTR(km io.Reader) (Suite, error) {
 	if _, err := io.ReadFull(km, macKey); err != nil {
 		return nil, fmt.Errorf("derive mac key: %w", err)
 	}
-	return &ctrSuite{block: blk, macKey: macKey}, nil
+	return &ctrSuite{block: blk, mac: newMACPool(macKey)}, nil
 }
 
 func (s *ctrSuite) Name() string { return SuiteAESCTR }
@@ -223,16 +223,14 @@ func (s *ctrSuite) Overhead() int { return s.block.BlockSize() + macSize }
 
 func (s *ctrSuite) Seal(plaintext []byte) ([]byte, error) {
 	bs := s.block.BlockSize()
-	frame := make([]byte, bs+len(plaintext)+macSize)
+	bodyLen := bs + len(plaintext)
+	frame := make([]byte, bodyLen, bodyLen+macSize)
 	iv := frame[:bs]
 	if _, err := rand.Read(iv); err != nil {
 		return nil, fmt.Errorf("draw iv: %w", err)
 	}
-	cipher.NewCTR(s.block, iv).XORKeyStream(frame[bs:bs+len(plaintext)], plaintext)
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(frame[:bs+len(plaintext)])
-	mac.Sum(frame[:bs+len(plaintext)])
-	return frame, nil
+	cipher.NewCTR(s.block, iv).XORKeyStream(frame[bs:bodyLen], plaintext)
+	return s.mac.appendTag(frame), nil
 }
 
 func (s *ctrSuite) Open(frame []byte) ([]byte, error) {
@@ -241,9 +239,7 @@ func (s *ctrSuite) Open(frame []byte) ([]byte, error) {
 		return nil, ErrShortFrame
 	}
 	body, tag := frame[:len(frame)-macSize], frame[len(frame)-macSize:]
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(body)
-	if subtle.ConstantTimeCompare(mac.Sum(nil), tag) != 1 {
+	if !s.mac.verify(body, tag) {
 		return nil, ErrAuth
 	}
 	ct := body[bs:]
@@ -256,7 +252,7 @@ func (s *ctrSuite) Open(frame []byte) ([]byte, error) {
 // group communication and key agreement from the cost of encryption in
 // ablation benchmarks.
 type nullSuite struct {
-	macKey []byte
+	mac *macPool
 }
 
 func newNull(km io.Reader) (Suite, error) {
@@ -264,7 +260,7 @@ func newNull(km io.Reader) (Suite, error) {
 	if _, err := io.ReadFull(km, macKey); err != nil {
 		return nil, fmt.Errorf("derive mac key: %w", err)
 	}
-	return &nullSuite{macKey: macKey}, nil
+	return &nullSuite{mac: newMACPool(macKey)}, nil
 }
 
 func (s *nullSuite) Name() string  { return SuiteNull }
@@ -273,9 +269,7 @@ func (s *nullSuite) Overhead() int { return macSize }
 func (s *nullSuite) Seal(plaintext []byte) ([]byte, error) {
 	frame := make([]byte, 0, len(plaintext)+macSize)
 	frame = append(frame, plaintext...)
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(plaintext)
-	return mac.Sum(frame), nil
+	return s.mac.appendTag(frame), nil
 }
 
 func (s *nullSuite) Open(frame []byte) ([]byte, error) {
@@ -283,9 +277,7 @@ func (s *nullSuite) Open(frame []byte) ([]byte, error) {
 		return nil, ErrShortFrame
 	}
 	body, tag := frame[:len(frame)-macSize], frame[len(frame)-macSize:]
-	mac := hmac.New(sha256.New, s.macKey)
-	mac.Write(body)
-	if subtle.ConstantTimeCompare(mac.Sum(nil), tag) != 1 {
+	if !s.mac.verify(body, tag) {
 		return nil, ErrAuth
 	}
 	out := make([]byte, len(body))

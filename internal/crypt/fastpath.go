@@ -1,0 +1,77 @@
+package crypt
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"hash"
+	"sync"
+	"sync/atomic"
+)
+
+// The steady-state data path seals and opens one frame per multicast, and
+// at the paper's target rates that is thousands of frames per second per
+// daemon. hmac.New rehashes both key pads and allocates two SHA-256 states
+// on every call — by far the largest allocation in Seal/Open once the
+// frame itself is written in place. Each suite therefore keeps its HMAC
+// states in a sync.Pool: Reset restores the precomputed key pads, so a
+// recycled state costs zero allocations and two fewer block hashes.
+//
+// poolingOff restores the allocate-per-call path; it exists so the
+// BenchmarkSealOpenPooled baseline (and any debugging of pool reuse) can
+// measure the unpooled cost without patching the code.
+var poolingOff atomic.Bool
+
+// SetPooling toggles the Seal/Open HMAC-state pooling fast path (on by
+// default) and returns the previous setting. Intended for benchmarks.
+func SetPooling(on bool) bool {
+	return !poolingOff.Swap(!on)
+}
+
+// macPool is a pool of ready-keyed HMAC-SHA256 states.
+type macPool struct {
+	key  []byte
+	pool sync.Pool
+}
+
+func newMACPool(key []byte) *macPool {
+	p := &macPool{key: append([]byte(nil), key...)}
+	p.pool.New = func() any { return hmac.New(sha256.New, p.key) }
+	return p
+}
+
+// get returns a reset HMAC state; pair with put.
+func (p *macPool) get() hash.Hash {
+	if poolingOff.Load() {
+		return hmac.New(sha256.New, p.key)
+	}
+	m := p.pool.Get().(hash.Hash)
+	m.Reset()
+	return m
+}
+
+func (p *macPool) put(m hash.Hash) {
+	if !poolingOff.Load() {
+		p.pool.Put(m)
+	}
+}
+
+// appendTag appends the HMAC tag over frame to frame (which must have
+// macSize spare capacity to stay allocation-free).
+func (p *macPool) appendTag(frame []byte) []byte {
+	m := p.get()
+	m.Write(frame)
+	frame = m.Sum(frame)
+	p.put(m)
+	return frame
+}
+
+// verify checks tag over body in constant time without allocating.
+func (p *macPool) verify(body, tag []byte) bool {
+	var sum [macSize]byte
+	m := p.get()
+	m.Write(body)
+	got := m.Sum(sum[:0])
+	p.put(m)
+	return subtle.ConstantTimeCompare(got, tag) == 1
+}

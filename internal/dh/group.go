@@ -97,9 +97,16 @@ func (g *Group) Exp(base, exp *big.Int, c *Counter, label string) *big.Int {
 	return new(big.Int).Exp(base, exp, g.P)
 }
 
-// PowG computes G^exp mod p with counting.
+// PowG computes G^exp mod p with counting. It runs on the group's cached
+// fixed-base comb table (built lazily on first use, see FixedBase): the
+// result is bit-identical to Exp(g.G, exp, ...) at a fraction of the cost,
+// and it still counts as exactly one exponentiation — the optimization
+// never changes the paper's Table 2-4 accounting.
 func (g *Group) PowG(exp *big.Int, c *Counter, label string) *big.Int {
-	return g.Exp(g.G, exp, c, label)
+	if c != nil {
+		c.Inc(label)
+	}
+	return g.fixedBase().Exp(exp)
 }
 
 // Mul computes a*b mod p (not counted: multiplication cost is negligible next

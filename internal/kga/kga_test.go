@@ -1,0 +1,144 @@
+package kga
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/dh"
+)
+
+// fakeProtocol is a minimal Protocol used to exercise the registry and
+// factory plumbing.
+type fakeProtocol struct {
+	name string
+}
+
+func (f *fakeProtocol) Proto() string                         { return "fake" }
+func (f *fakeProtocol) Name() string                          { return f.name }
+func (f *fakeProtocol) PubKey() *big.Int                      { return big.NewInt(4) }
+func (f *fakeProtocol) HandleEvent(Event) (Result, error)     { return Result{}, nil }
+func (f *fakeProtocol) HandleMessage(Message) (Result, error) { return Result{}, nil }
+func (f *fakeProtocol) Reset()                                {}
+func (f *fakeProtocol) Dissolve()                             {}
+func (f *fakeProtocol) Key() *GroupKey                        { return nil }
+func (f *fakeProtocol) Members() []string                     { return nil }
+func (f *fakeProtocol) Controller() string                    { return "" }
+func (f *fakeProtocol) InProgress() bool                      { return false }
+
+func fakeFactory(member string, g *dh.Group, dir Directory, c *dh.Counter) (Protocol, error) {
+	if member == "reject" {
+		return nil, errors.New("rejected")
+	}
+	return &fakeProtocol{name: member}, nil
+}
+
+func TestRegisterAndNew(t *testing.T) {
+	const name = "kga-test-proto"
+	if err := Register(name, fakeFactory); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// Duplicate registration must be refused.
+	if err := Register(name, fakeFactory); err == nil {
+		t.Fatal("duplicate Register succeeded, want error")
+	}
+
+	p, err := New(name, "alice", dh.Group512, nil, nil)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if p.Name() != "alice" {
+		t.Errorf("member name = %q, want alice", p.Name())
+	}
+
+	// Factory errors propagate.
+	if _, err := New(name, "reject", dh.Group512, nil, nil); err == nil {
+		t.Error("factory error swallowed by New")
+	}
+
+	// Unknown protocols are an error naming the protocol.
+	_, err = New("no-such-proto", "alice", dh.Group512, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "no-such-proto") {
+		t.Errorf("unknown protocol error = %v, want it to name the protocol", err)
+	}
+}
+
+func TestProtocolsSorted(t *testing.T) {
+	for _, name := range []string{"kga-test-zz", "kga-test-aa"} {
+		if err := Register(name, fakeFactory); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	names := Protocols()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Protocols() not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"kga-test-aa", "kga-test-zz"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Protocols() missing %s: %v", want, names)
+		}
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	cases := map[EventType]string{
+		EvFound:       "found",
+		EvJoin:        "join",
+		EvLeave:       "leave",
+		EvMerge:       "merge",
+		EvRefresh:     "refresh",
+		EventType(42): "event(42)",
+	}
+	for ev, want := range cases {
+		if got := ev.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(ev), got, want)
+		}
+	}
+}
+
+func TestGroupKeyAccessors(t *testing.T) {
+	k := &GroupKey{Secret: big.NewInt(0xabcdef), Epoch: 7, Members: []string{"a", "b", "c"}}
+	if got, want := fmt.Sprintf("%x", k.Bytes()), "abcdef"; got != want {
+		t.Errorf("Bytes = %s, want %s", got, want)
+	}
+	if got := k.Controller(); got != "c" {
+		t.Errorf("Controller = %q, want c", got)
+	}
+	empty := &GroupKey{Secret: big.NewInt(1)}
+	if got := empty.Controller(); got != "" {
+		t.Errorf("empty Controller = %q, want empty", got)
+	}
+}
+
+func TestDirectoryFunc(t *testing.T) {
+	dir := DirectoryFunc(func(name string) (*big.Int, error) {
+		if name == "alice" {
+			return big.NewInt(9), nil
+		}
+		return nil, fmt.Errorf("unknown member %s", name)
+	})
+	pub, err := dir.PubKey("alice")
+	if err != nil || pub.Int64() != 9 {
+		t.Errorf("PubKey(alice) = %v, %v; want 9, nil", pub, err)
+	}
+	if _, err := dir.PubKey("mallory"); err == nil {
+		t.Error("PubKey(mallory) succeeded, want error")
+	}
+}
+
+func TestErrRetryIsSentinel(t *testing.T) {
+	wrapped := fmt.Errorf("engine busy: %w", ErrRetry)
+	if !errors.Is(wrapped, ErrRetry) {
+		t.Error("wrapped ErrRetry not recognized by errors.Is")
+	}
+}

@@ -350,10 +350,18 @@ func (d *Daemon) installView(inst *installMsg) {
 	d.flushOldView()
 
 	// If a previous state exchange was interrupted by this cascaded view
-	// change, group operations delivered during it sit in bufferedMsgs.
-	// Apply them silently so the group state every daemon of our old
-	// component reports is identical; clients learn the net effect from
-	// the per-client diff when the new exchange finalizes.
+	// change, d.groups is still the not-yet-finalized (empty) map created
+	// at the interrupted install — the last finalized topology lives in
+	// d.prevGroups. Restore it before snapshotting below, or this daemon
+	// would report no local memberships in the new exchange and its
+	// clients would silently vanish from their groups cluster-wide.
+	if len(d.stateWait) > 0 {
+		d.groups = d.prevGroups
+	}
+	// Group operations delivered during the interrupted exchange sit in
+	// bufferedMsgs. Apply them silently so the group state every daemon
+	// of our old component reports is identical; clients learn the net
+	// effect from the per-client diff when the new exchange finalizes.
 	interrupted := d.bufferedMsgs
 	d.bufferedMsgs = nil
 	for _, m := range interrupted {
