@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-exp
+.PHONY: check vet build test race chaos bench-exp
 
 ## check: the full local gate — vet, build, tests, and the race suite on
 ## the packages with concurrency-sensitive fast paths.
@@ -16,7 +16,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dh ./internal/cliques ./internal/crypt
+	$(GO) test -race ./internal/dh ./internal/cliques ./internal/crypt \
+		./internal/spread ./internal/flush ./internal/core
+
+## chaos: the deterministic fault-schedule matrix (8 seeds x 2 protocols,
+## 5 cluster-wide invariants) under the race detector. A failing seed
+## reproduces with: go test ./internal/chaos -run TestChaos -chaos.seed=N
+chaos:
+	$(GO) test -race -timeout 3000s ./internal/chaos
 
 ## bench-exp: regenerate BENCH_exp.json (fixed-base speedup, batch-pool
 ## scaling, Seal/Open pooling cost).

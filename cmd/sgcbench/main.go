@@ -10,6 +10,11 @@
 //	sgcbench -experiment figure3 -nmax 30  # Figure 3: total join/leave time
 //	sgcbench -experiment figure4 -nmax 30  # Figure 4: CPU time per op
 //	sgcbench -experiment all
+//	sgcbench -chaos -seed 4 -events 33     # deterministic fault-schedule run
+//
+// The chaos mode replays a seeded fault schedule against a live cluster and
+// checks the five global invariants (see internal/chaos); it exits nonzero
+// on any violation, and the same seed always reproduces the same schedule.
 package main
 
 import (
@@ -20,26 +25,35 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	_ "repro/internal/ckd"
 	_ "repro/internal/cliques"
 	"repro/internal/dh"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table2|table3|table4|figure3|figure4|all")
+	experiment := flag.String("experiment", "all", "table2|table3|table4|figure3|figure4|chaos|all")
 	nmax := flag.Int("nmax", 30, "largest group size for the figures")
 	step := flag.Int("step", 3, "group size step for the figures")
 	batch := flag.Int("batch", 5, "operations averaged per data point")
 	bits := flag.Int("bits", 512, "DH modulus size for figure 4 (512 as in the paper; 2048 calibrates the per-exponentiation cost to the paper's testbed)")
+	chaosMode := flag.Bool("chaos", false, "shorthand for -experiment chaos")
+	seed := flag.Uint64("seed", 1, "chaos schedule seed")
+	events := flag.Int("events", 33, "chaos schedule length")
+	proto := flag.String("proto", "both", "chaos key agreement protocol: cliques|ckd|both")
 	flag.Parse()
 
-	if err := run(*experiment, *nmax, *step, *batch, *bits); err != nil {
+	exp := *experiment
+	if *chaosMode {
+		exp = "chaos"
+	}
+	if err := run(exp, *nmax, *step, *batch, *bits, *seed, *events, *proto); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, nmax, step, batch, bits int) error {
+func run(experiment string, nmax, step, batch, bits int, seed uint64, events int, proto string) error {
 	switch experiment {
 	case "table2":
 		return table2()
@@ -51,6 +65,8 @@ func run(experiment string, nmax, step, batch, bits int) error {
 		return figure3(nmax, step, batch)
 	case "figure4":
 		return figure4(nmax, step, batch, bits)
+	case "chaos":
+		return chaosExperiment(seed, events, proto)
 	case "all":
 		for _, fn := range []func() error{table2, table3, table4} {
 			if err := fn(); err != nil {
@@ -64,6 +80,43 @@ func run(experiment string, nmax, step, batch, bits int) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
+}
+
+// chaosExperiment replays one seeded fault schedule under each requested
+// protocol, prints the schedule and invariant trace, and fails on any
+// violation. Because the schedule is derived only from the seed, a failure
+// reported here reproduces exactly with the same flags (or with
+// `go test ./internal/chaos -run TestChaos -chaos.seed=N`).
+func chaosExperiment(seed uint64, events int, proto string) error {
+	protos := []string{"cliques", "ckd"}
+	switch proto {
+	case "both":
+	case "cliques", "ckd":
+		protos = []string{proto}
+	default:
+		return fmt.Errorf("unknown chaos protocol %q", proto)
+	}
+	failed := false
+	for _, p := range protos {
+		res, err := chaos.Run(chaos.Config{Seed: seed, Events: events, Proto: p})
+		if err != nil {
+			return fmt.Errorf("chaos %s: %w", p, err)
+		}
+		fmt.Printf("== chaos seed=%d proto=%s ==\n", seed, p)
+		fmt.Print(res.Schedule.String())
+		fmt.Print(res.TraceString())
+		for _, v := range res.Violations {
+			fmt.Println("VIOLATION:", v)
+		}
+		if !res.Passed() {
+			failed = true
+		}
+		fmt.Printf("final epoch %d, %d warnings\n\n", res.FinalEpoch, res.Warnings)
+	}
+	if failed {
+		return fmt.Errorf("chaos: invariant violations at seed %d (deterministic: rerun with -chaos -seed %d)", seed, seed)
+	}
+	return nil
 }
 
 func newTab() *tabwriter.Writer {

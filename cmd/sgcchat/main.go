@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -37,13 +38,14 @@ func main() {
 	suite := flag.String("suite", securespread.SuiteBlowfish, "cipher suite")
 	flag.Parse()
 
-	if err := run(strings.Split(*users, ","), *group, *proto, *suite); err != nil {
+	if err := run(os.Stdin, os.Stdout, strings.Split(*users, ","), *group, *proto, *suite); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 type chat struct {
+	out      io.Writer
 	cluster  *securespread.Cluster
 	group    string
 	proto    string
@@ -52,7 +54,9 @@ type chat struct {
 	next     int
 }
 
-func run(users []string, group, proto, suite string) error {
+// run drives the chat loop, reading commands from in and writing every
+// prompt and event to out (separated from main for the smoke test).
+func run(in io.Reader, out io.Writer, users []string, group, proto, suite string) error {
 	cluster, err := securespread.NewLocalCluster(3)
 	if err != nil {
 		return err
@@ -60,6 +64,7 @@ func run(users []string, group, proto, suite string) error {
 	defer cluster.Stop()
 
 	c := &chat{
+		out:      out,
 		cluster:  cluster,
 		group:    group,
 		proto:    proto,
@@ -75,10 +80,10 @@ func run(users []string, group, proto, suite string) error {
 		return fmt.Errorf("no users")
 	}
 	current := strings.TrimSpace(users[0])
-	fmt.Printf("secure chat in %q (%s, %s). /help for commands.\n", group, proto, suite)
+	fmt.Fprintf(out, "secure chat in %q (%s, %s). /help for commands.\n", group, proto, suite)
 
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Printf("%s> ", current)
+	sc := bufio.NewScanner(in)
+	fmt.Fprintf(out, "%s> ", current)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -86,28 +91,28 @@ func run(users []string, group, proto, suite string) error {
 		case line == "/quit":
 			return nil
 		case line == "/help":
-			fmt.Println("/as <user> | /join <user> | /leave <user> | /refresh | /state | /quit")
+			fmt.Fprintln(out, "/as <user> | /join <user> | /leave <user> | /refresh | /state | /quit")
 		case strings.HasPrefix(line, "/as "):
 			u := strings.TrimSpace(strings.TrimPrefix(line, "/as "))
 			if _, ok := c.sessions[u]; !ok {
-				fmt.Printf("no such user %q\n", u)
+				fmt.Fprintf(out, "no such user %q\n", u)
 			} else {
 				current = u
 			}
 		case strings.HasPrefix(line, "/join "):
 			u := strings.TrimSpace(strings.TrimPrefix(line, "/join "))
 			if err := c.addUser(u); err != nil {
-				fmt.Println("join:", err)
+				fmt.Fprintln(out, "join:", err)
 			}
 		case strings.HasPrefix(line, "/leave "):
 			u := strings.TrimSpace(strings.TrimPrefix(line, "/leave "))
 			s, ok := c.sessions[u]
 			if !ok {
-				fmt.Printf("no such user %q\n", u)
+				fmt.Fprintf(out, "no such user %q\n", u)
 				break
 			}
 			if err := s.Leave(c.group); err != nil {
-				fmt.Println("leave:", err)
+				fmt.Fprintln(out, "leave:", err)
 				break
 			}
 			delete(c.sessions, u)
@@ -119,20 +124,20 @@ func run(users []string, group, proto, suite string) error {
 			}
 		case line == "/refresh":
 			if err := c.sessions[current].KeyRefresh(c.group); err != nil {
-				fmt.Println("refresh:", err)
+				fmt.Fprintln(out, "refresh:", err)
 			}
 		case line == "/state":
 			members, epoch, secured := c.sessions[current].GroupState(c.group)
-			fmt.Printf("members=%v epoch=%d secured=%v\n", members, epoch, secured)
+			fmt.Fprintf(out, "members=%v epoch=%d secured=%v\n", members, epoch, secured)
 		default:
 			if err := c.sessions[current].Multicast(c.group, []byte(line)); err != nil {
-				fmt.Println("send:", err)
+				fmt.Fprintln(out, "send:", err)
 			}
 		}
 		// Drain a short window of events so chat output interleaves
 		// naturally with the prompt.
 		c.drain(200 * time.Millisecond)
-		fmt.Printf("%s> ", current)
+		fmt.Fprintf(out, "%s> ", current)
 	}
 	return sc.Err()
 }
@@ -162,7 +167,7 @@ func (c *chat) addUser(name string) error {
 			break
 		}
 		if v, isView := ev.(securespread.SecureView); isView {
-			fmt.Printf("* %s joined: members=%v epoch=%d\n", name, v.Members, v.Epoch)
+			fmt.Fprintf(c.out, "* %s joined: members=%v epoch=%d\n", name, v.Members, v.Epoch)
 			c.sessions[name] = s
 			return nil
 		}
@@ -183,13 +188,13 @@ func (c *chat) drain(d time.Duration) {
 			idle = false
 			switch e := ev.(type) {
 			case securespread.Message:
-				fmt.Printf("[%s sees] %s: %s\n", name, e.Sender, e.Data)
+				fmt.Fprintf(c.out, "[%s sees] %s: %s\n", name, e.Sender, e.Data)
 			case securespread.SecureView:
-				fmt.Printf("[%s sees] view: members=%v epoch=%d\n", name, e.Members, e.Epoch)
+				fmt.Fprintf(c.out, "[%s sees] view: members=%v epoch=%d\n", name, e.Members, e.Epoch)
 			case securespread.SelfLeave:
-				fmt.Printf("[%s sees] left group\n", name)
+				fmt.Fprintf(c.out, "[%s sees] left group\n", name)
 			case securespread.Warning:
-				fmt.Printf("[%s sees] warning: %v\n", name, e.Err)
+				fmt.Fprintf(c.out, "[%s sees] warning: %v\n", name, e.Err)
 			}
 		}
 		if idle {

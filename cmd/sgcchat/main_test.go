@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/securespread"
+)
+
+// TestChatSmoke drives the full chat loop through a scripted session: two
+// users secure a group, a third joins at the prompt, a message is
+// multicast, state is printed, and a user leaves. The blank lines give the
+// event drain extra windows so message delivery is not timing-sensitive.
+func TestChatSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chat smoke test in -short mode")
+	}
+	script := strings.Join([]string{
+		"/state",
+		"/join carol",
+		"hello group",
+		"", "", "", "", "", "", "", "", "", "",
+		"/state",
+		"/leave carol",
+		"/quit",
+	}, "\n") + "\n"
+
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, []string{"alice", "bob"}, "lobby", "cliques", securespread.SuiteBlowfish); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		`secure chat in "lobby"`,
+		"* alice joined",
+		"* bob joined",
+		"* carol joined",
+		"members=",
+		"secured=true",
+		"[bob sees] alice#d00: hello group",
+		"[carol sees] alice#d00: hello group",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q\noutput:\n%s", want, got)
+		}
+	}
+}
+
+// TestChatUnknownUser covers the error paths that do not need a secured
+// group: switching to and leaving a user that does not exist.
+func TestChatUnknownUser(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chat smoke test in -short mode")
+	}
+	script := "/as nobody\n/leave nobody\n/quit\n"
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out, []string{"solo"}, "g", "cliques", securespread.SuiteBlowfish); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := strings.Count(out.String(), `no such user "nobody"`); n != 2 {
+		t.Errorf("expected 2 unknown-user errors, got %d\noutput:\n%s", n, out.String())
+	}
+}

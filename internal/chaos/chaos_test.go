@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+// The matrix flags make any failing seed a one-line repro:
+//
+//	go test ./internal/chaos -run TestChaos -chaos.seed=N
+var (
+	flagSeed    = flag.Uint64("chaos.seed", 0, "replay only this seed (0 = full matrix)")
+	flagEvents  = flag.Int("chaos.events", 30, "schedule length per run")
+	flagDaemons = flag.Int("chaos.daemons", 3, "initial daemon count per run")
+	flagProto   = flag.String("chaos.proto", "", "restrict to one key agreement module")
+	flagVerbose = flag.Bool("chaos.v", false, "print schedule and trace even on success")
+)
+
+// matrixSeeds is the CI seed set; -chaos.seed replays a single one.
+func matrixSeeds() []uint64 {
+	if *flagSeed != 0 {
+		return []uint64{*flagSeed}
+	}
+	return []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+func protos() []string {
+	if *flagProto != "" {
+		return []string{*flagProto}
+	}
+	return []string{"cliques", "ckd"}
+}
+
+// TestChaosMatrix replays every seed's schedule under both key agreement
+// modules — the differential check: the identical fault sequence must leave
+// either protocol with all five invariants intact.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is not a -short test")
+	}
+	for _, seed := range matrixSeeds() {
+		sched := Generate(seed, *flagDaemons, *flagEvents, 6, Weights{})
+		for _, proto := range protos() {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, proto), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{Seed: seed, Daemons: *flagDaemons, Events: *flagEvents, Proto: proto}
+				res, err := Replay(cfg, sched)
+				if err != nil {
+					t.Fatalf("chaos replay: %v\nschedule:\n%s", err, sched)
+				}
+				if !res.Passed() || *flagVerbose {
+					t.Logf("schedule:\n%s\ntrace:\n%s", sched, res.TraceString())
+				}
+				for _, v := range res.Violations {
+					t.Errorf("invariant violated: %s", v)
+				}
+			})
+		}
+	}
+}
+
+// TestScheduleDeterminism pins the harness's core promise: the same seed
+// yields the byte-identical schedule, and different seeds diverge.
+func TestScheduleDeterminism(t *testing.T) {
+	a := Generate(7, 3, 40, 6, Weights{})
+	b := Generate(7, 3, 40, 6, Weights{})
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different schedules:\n%s\n--- vs ---\n%s", a, b)
+	}
+	if got := len(a.Events); got < 43 { // 3 initial joins + 40 scheduled
+		t.Fatalf("schedule has %d events, want >= 43", got)
+	}
+	if c := Generate(8, 3, 40, 6, Weights{}); c.String() == a.String() {
+		t.Fatalf("seeds 7 and 8 produced the identical schedule")
+	}
+}
+
+// TestScheduleWellFormed checks the generator's model over many seeds:
+// every event must be legal at its point in the sequence so the driver can
+// replay it verbatim.
+func TestScheduleWellFormed(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		s := Generate(seed, 3, 60, 6, Weights{})
+		up := map[string]bool{}
+		for _, d := range s.Daemons {
+			up[d] = true
+		}
+		clients := map[string]string{}
+		partitioned, dropping := false, false
+		for i, ev := range s.Events {
+			bad := func(why string) {
+				t.Fatalf("seed %d event %d (%s): %s\n%s", seed, i, ev, why, s)
+			}
+			switch ev.Kind {
+			case EvJoin:
+				if !up[ev.Daemon] {
+					bad("join targets a down daemon")
+				}
+				if _, dup := clients[ev.Client]; dup {
+					bad("client name reused while alive")
+				}
+				clients[ev.Client] = ev.Daemon
+			case EvLeave, EvClientGo, EvSend, EvRefresh:
+				if _, ok := clients[ev.Client]; !ok {
+					bad("references a dead client")
+				}
+				if ev.Kind == EvLeave || ev.Kind == EvClientGo {
+					delete(clients, ev.Client)
+				}
+			case EvCrash:
+				if !up[ev.Daemon] {
+					bad("crashes a down daemon")
+				}
+				delete(up, ev.Daemon)
+				if len(up) == 0 {
+					bad("crashed the last daemon")
+				}
+				for c, host := range clients {
+					if host == ev.Daemon {
+						delete(clients, c)
+					}
+				}
+				if len(clients) == 0 {
+					bad("crash killed the last client")
+				}
+			case EvRecover:
+				if up[ev.Daemon] {
+					bad("recovers a daemon that is up")
+				}
+				up[ev.Daemon] = true
+			case EvPartition:
+				if len(ev.Split) != 2 || len(ev.Split[0]) == 0 || len(ev.Split[1]) == 0 {
+					bad("split is not two non-empty components")
+				}
+				seen := map[string]bool{}
+				for _, comp := range ev.Split {
+					for _, d := range comp {
+						if !up[d] || seen[d] {
+							bad("split names a down or duplicated daemon")
+						}
+						seen[d] = true
+					}
+				}
+				partitioned = true
+			case EvHeal:
+				if !partitioned {
+					bad("heal without partition")
+				}
+				partitioned = false
+			case EvDropOn:
+				if dropping {
+					bad("drop burst while already dropping")
+				}
+				dropping = true
+			case EvDropOff:
+				if !dropping {
+					bad("drop-off without drop-on")
+				}
+				dropping = false
+			}
+		}
+		if len(clients) == 0 {
+			t.Fatalf("seed %d: schedule ends with no clients", seed)
+		}
+		if got := fmt.Sprint(sortedKeys(clients)); got != fmt.Sprint(s.FinalClients) {
+			t.Fatalf("seed %d: FinalClients %v != replayed model %v", seed, s.FinalClients, sortedKeys(clients))
+		}
+	}
+}
+
+// TestChaosTraceDeterminism replays one seed twice under the same protocol:
+// the invariant traces must be byte-identical (the repro guarantee).
+func TestChaosTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is not a -short test")
+	}
+	cfg := Config{Seed: 3, Events: 30}
+	var traces [2]string
+	for i := range traces {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !res.Passed() {
+			t.Fatalf("run %d violations: %v\ntrace:\n%s", i, res.Violations, res.TraceString())
+		}
+		traces[i] = res.Schedule.String() + res.TraceString()
+	}
+	if traces[0] != traces[1] {
+		t.Fatalf("same seed, different traces:\n%s\n--- vs ---\n%s", traces[0], traces[1])
+	}
+}

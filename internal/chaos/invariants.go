@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dh"
+)
+
+// The five global invariants every chaos run must satisfy once the cluster
+// quiesces (DESIGN.md Section 8):
+//
+//	I1 view agreement    — all surviving clients install the same final view,
+//	                       and it is exactly the schedule's surviving set.
+//	I2 key agreement     — all surviving clients hold the same group secret
+//	                       (equal key-confirmation digests at one epoch).
+//	I3 key freshness     — no client ever installs the same secret twice in
+//	                       a row; every membership event changes the key.
+//	I4 VS safety         — no client delivers a message encrypted under a
+//	                       key it never installed.
+//	I5 exp accounting    — exponentiation counters stay consistent: only the
+//	                       Table 2-4 labels, totals equal to the label sums,
+//	                       and at least one exponentiation per secured view.
+//
+// Trace lines carry only schedule-derived data and verdicts, so the same
+// seed yields a byte-identical trace whether the run passes or fails;
+// run-dependent evidence (epochs, digests) goes to Result.Violations.
+
+// knownOps is the closed label set from the paper's cost tables.
+var knownOps = map[string]bool{
+	dh.OpShareUpdate:    true,
+	dh.OpLongTermKey:    true,
+	dh.OpPairwiseKey:    true,
+	dh.OpSessionKey:     true,
+	dh.OpKeyEncrypt:     true,
+	dh.OpKeyDecrypt:     true,
+	dh.OpPairwiseSecret: true,
+	dh.OpShareRemove:    true,
+}
+
+// checkInvariants runs all five checks and appends one trace line per
+// invariant plus detailed violations to res.
+func checkInvariants(d *driver, res *Result, converged bool) {
+	alive := d.aliveSorted()
+	names := make([]string, len(alive))
+	for i, c := range alive {
+		names[i] = c.name
+	}
+	record := func(id, what string, violations []string) {
+		verdict := "PASS"
+		if len(violations) > 0 {
+			verdict = "FAIL"
+			res.Violations = append(res.Violations, violations...)
+		}
+		res.Trace = append(res.Trace, fmt.Sprintf("%s %-15s survivors=[%s] %s",
+			id, what, strings.Join(names, " "), verdict))
+	}
+
+	record("I1", "view-agreement", checkViewAgreement(d, alive, converged))
+	record("I2", "key-agreement", checkKeyAgreement(d, alive, converged))
+	record("I3", "key-freshness", checkKeyFreshness(d))
+	record("I4", "vs-safety", checkVSSafety(d))
+	record("I5", "exp-accounting", checkExpAccounting(d))
+}
+
+// checkViewAgreement (I1): the surviving clients' secured membership is
+// identical everywhere and matches the schedule's surviving set.
+func checkViewAgreement(d *driver, alive []*client, converged bool) []string {
+	if !converged {
+		v := []string{fmt.Sprintf("I1: cluster did not converge on survivors %v within %v",
+			d.sched.FinalClients, d.cfg.ConvergeTimeout)}
+		for _, c := range alive {
+			members, epoch, ok := c.conn.GroupState(d.cfg.Group)
+			c.mu.Lock()
+			nViews := len(c.views)
+			c.mu.Unlock()
+			v = append(v, fmt.Sprintf("I1:   %s secured=%t epoch=%d members=%v views=%d",
+				c.member, ok, epoch, members, nViews))
+		}
+		return v
+	}
+	var v []string
+	if got := clientNames(alive); !equalStrings(got, d.sched.FinalClients) {
+		v = append(v, fmt.Sprintf("I1: surviving clients %v != schedule survivors %v",
+			got, d.sched.FinalClients))
+	}
+	want := make([]string, len(alive))
+	for i, c := range alive {
+		want[i] = c.member
+	}
+	sort.Strings(want)
+	for _, c := range alive {
+		members, _, ok := c.conn.GroupState(d.cfg.Group)
+		if !ok {
+			v = append(v, fmt.Sprintf("I1: %s is not secured after convergence", c.member))
+			continue
+		}
+		sorted := append([]string(nil), members...)
+		sort.Strings(sorted)
+		if !equalStrings(sorted, want) {
+			v = append(v, fmt.Sprintf("I1: %s final membership %v != surviving set %v",
+				c.member, sorted, want))
+		}
+	}
+	return v
+}
+
+// checkKeyAgreement (I2): one (epoch, digest) pair across all survivors,
+// and every survivor observed every final probe — the operational proof
+// that the shared digest corresponds to a working shared secret.
+func checkKeyAgreement(d *driver, alive []*client, converged bool) []string {
+	if !converged {
+		return []string{"I2: skipped: no convergence (see I1)"}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	var v []string
+	var refEpoch uint64
+	var refDigest string
+	for i, c := range alive {
+		epoch, digest, ok := c.conn.KeyConfirmation(d.cfg.Group)
+		if !ok {
+			v = append(v, fmt.Sprintf("I2: %s has no established key", c.member))
+			continue
+		}
+		hex := fmt.Sprintf("%x", digest)
+		if i == 0 {
+			refEpoch, refDigest = epoch, hex
+			continue
+		}
+		if epoch != refEpoch || hex != refDigest {
+			v = append(v, fmt.Sprintf("I2: %s at epoch %d digest %.16s, but %s at epoch %d digest %.16s",
+				c.member, epoch, hex, alive[0].member, refEpoch, refDigest))
+		}
+	}
+	if len(alive) < 2 {
+		return v
+	}
+	// Every survivor must have decrypted the final probe of every other
+	// survivor at the agreed epoch.
+	for _, c := range alive {
+		got := make(map[string]bool)
+		c.mu.Lock()
+		for _, p := range c.probes {
+			if p.epoch == refEpoch && p.digest == refDigest {
+				got[p.sender] = true
+			}
+		}
+		c.mu.Unlock()
+		for _, peer := range alive {
+			if peer == c {
+				continue
+			}
+			if !got[peer.member] {
+				v = append(v, fmt.Sprintf("I2: %s never decrypted the final probe from %s at epoch %d",
+					c.member, peer.member, refEpoch))
+			}
+		}
+	}
+	return v
+}
+
+// checkKeyFreshness (I3): across every client's history, consecutive
+// installed views never reuse a key-confirmation digest. Epochs are not
+// required to increase — a cascading full re-key legitimately restarts the
+// epoch sequence — but the secret itself must change on every installation.
+func checkKeyFreshness(d *driver) []string {
+	var v []string
+	for _, c := range d.allClients() {
+		c.mu.Lock()
+		views := append([]viewRec(nil), c.views...)
+		c.mu.Unlock()
+		for i := 1; i < len(views); i++ {
+			if views[i].digest == views[i-1].digest {
+				v = append(v, fmt.Sprintf("I3: %s installed the same key digest %.16s in consecutive views (epochs %d, %d)",
+					c.member, views[i].digest, views[i-1].epoch, views[i].epoch))
+			}
+		}
+	}
+	return v
+}
+
+// checkVSSafety (I4): every delivered probe was encrypted under a key the
+// receiving client itself installed. The secure layer buffers data frames
+// for epochs it has not yet installed and emits the SecureView first, so in
+// the recorded event order a violating delivery is a key that never appears
+// in the client's view history.
+func checkVSSafety(d *driver) []string {
+	var v []string
+	for _, c := range d.allClients() {
+		c.mu.Lock()
+		installed := make(map[string]bool, len(c.views))
+		for _, vr := range c.views {
+			installed[fmt.Sprintf("%d/%s", vr.epoch, vr.digest)] = true
+		}
+		probes := append([]probeRec(nil), c.probes...)
+		c.mu.Unlock()
+		for _, p := range probes {
+			if !installed[fmt.Sprintf("%d/%s", p.epoch, p.digest)] {
+				v = append(v, fmt.Sprintf("I4: %s delivered a probe from %s under epoch %d digest %.16s, a key it never installed",
+					c.member, p.sender, p.epoch, p.digest))
+			}
+		}
+	}
+	return v
+}
+
+// checkExpAccounting (I5): per client, the counter uses only the known
+// Table 2-4 labels, its total equals the sum of the labels, and every
+// secured view cost at least one counted exponentiation.
+func checkExpAccounting(d *driver) []string {
+	var v []string
+	for _, c := range d.allClients() {
+		snap := c.counter.Snapshot()
+		sum := 0
+		for label, n := range snap {
+			sum += n
+			if !knownOps[label] {
+				v = append(v, fmt.Sprintf("I5: %s recorded unknown exponentiation label %q", c.member, label))
+			}
+			if n < 0 {
+				v = append(v, fmt.Sprintf("I5: %s recorded negative count %d for %q", c.member, n, label))
+			}
+		}
+		if total := c.counter.Total(); total != sum {
+			v = append(v, fmt.Sprintf("I5: %s counter total %d != label sum %d", c.member, total, sum))
+		}
+		c.mu.Lock()
+		nViews := len(c.views)
+		c.mu.Unlock()
+		if nViews > 0 && sum < nViews {
+			v = append(v, fmt.Sprintf("I5: %s secured %d views with only %d exponentiations", c.member, nViews, sum))
+		}
+	}
+	return v
+}
+
+func clientNames(cs []*client) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.name
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

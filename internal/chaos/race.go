@@ -1,0 +1,7 @@
+//go:build race
+
+package chaos
+
+// raceEnabled widens the harness's protocol timers: the race detector slows
+// the stack enough that the fast test timers cause false failure suspicions.
+const raceEnabled = true

@@ -1,0 +1,171 @@
+package ckd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dh"
+	"repro/internal/kga"
+	"repro/internal/kga/kgatest"
+)
+
+// assertCounts requires that a member's counter snapshot matches the want
+// map exactly: every expected label at its expected count, and no
+// unaccounted labels.
+func assertCounts(t *testing.T, who string, got, want map[string]int) {
+	t.Helper()
+	for label, w := range want {
+		if got[label] != w {
+			t.Errorf("%s %q = %d, want %d", who, label, got[label], w)
+		}
+	}
+	for label, g := range got {
+		if _, ok := want[label]; !ok {
+			t.Errorf("%s performed unaccounted %q x%d", who, label, g)
+		}
+	}
+}
+
+// TestTable5JoinLineItems checks every individual line of the paper's
+// Table 2 (CKD column, derived from the Table 5 protocol) by label:
+//
+//	controller: long term key computation with joiner      1
+//	            pairwise key computation with joiner       1
+//	            new session key computation                1
+//	            encryption of session key (per member)    n-1
+//	new member: long term key computation with controller  1
+//	            pairwise key computation with controller   1
+//	            encryption of pairwise secret              1
+//	            decryption of session key                  1
+//	bystander:  decryption of session key                  1
+//
+// Unlike Cliques (controller = newest member), the CKD controller is the
+// OLDEST member, and bystanders ride for a single decryption because the
+// pairwise keys persist across membership events.
+func TestTable5JoinLineItems(t *testing.T) {
+	for _, n := range []int{3, 6, 12} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			net := kgatest.NewNet(t, ProtoName, dh.Group512)
+			ms := names(n)
+			net.Grow(ms[:n-1])
+			net.Add(ms[n-1])
+			net.ResetCounters()
+			net.MustRun(kga.Event{Type: kga.EvJoin, Members: ms, Joined: ms[n-1:]}, ms)
+
+			assertCounts(t, "controller", net.Counters[ms[0]].Snapshot(), map[string]int{
+				dh.OpLongTermKey: 1,
+				dh.OpPairwiseKey: 1,
+				dh.OpSessionKey:  1,
+				dh.OpKeyEncrypt:  n - 1,
+			})
+			assertCounts(t, "new member", net.Counters[ms[n-1]].Snapshot(), map[string]int{
+				dh.OpLongTermKey:    1,
+				dh.OpPairwiseKey:    1,
+				dh.OpPairwiseSecret: 1,
+				dh.OpKeyDecrypt:     1,
+			})
+			for _, name := range ms[1 : n-1] {
+				assertCounts(t, "bystander "+name, net.Counters[name].Snapshot(), map[string]int{
+					dh.OpKeyDecrypt: 1,
+				})
+			}
+			// The Table 2 serial-path total for the CKD controller: n+2.
+			if total := net.Counters[ms[0]].Total(); total != n+2 {
+				t.Errorf("controller total = %d, want n+2 = %d", total, n+2)
+			}
+		})
+	}
+}
+
+// TestTable5LeaveLineItems checks the ordinary-leave accounting (Table 3,
+// CKD column): the controller drops the departed member's pairwise key —
+// costing nothing — and redistributes a fresh secret: one session key plus
+// one encryption per survivor, n-1 exponentiations total for a pre-leave
+// group of size n. Survivors pay a single decryption.
+func TestTable5LeaveLineItems(t *testing.T) {
+	for _, n := range []int{4, 9} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			net := kgatest.NewNet(t, ProtoName, dh.Group512)
+			ms := names(n)
+			net.Grow(ms)
+			net.ResetCounters()
+			// The departed member is the newest: the controller survives.
+			net.MustRun(kga.Event{Type: kga.EvLeave, Members: ms[:n-1], Left: ms[n-1:]}, ms[:n-1])
+
+			assertCounts(t, "controller", net.Counters[ms[0]].Snapshot(), map[string]int{
+				dh.OpSessionKey: 1,
+				dh.OpKeyEncrypt: n - 2,
+			})
+			if total := net.Counters[ms[0]].Total(); total != n-1 {
+				t.Errorf("controller total = %d, want n-1 = %d", total, n-1)
+			}
+			for _, name := range ms[1 : n-1] {
+				assertCounts(t, "survivor "+name, net.Counters[name].Snapshot(), map[string]int{
+					dh.OpKeyDecrypt: 1,
+				})
+			}
+		})
+	}
+}
+
+// TestTable5ControllerLeaveLineItems checks the expensive CKD case
+// (Table 3): when the controller departs, the new controller (next oldest)
+// re-runs the Table 5 phase-1 handshake with every survivor before
+// distributing — long-term key, pairwise key, and encryption per peer plus
+// one session key: 3(n-2)+1 = 3n-5 exponentiations for a pre-leave group
+// of size n. Every other survivor pays the full member handshake (4).
+func TestTable5ControllerLeaveLineItems(t *testing.T) {
+	for _, n := range []int{4, 9} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			net := kgatest.NewNet(t, ProtoName, dh.Group512)
+			ms := names(n)
+			net.Grow(ms)
+			net.ResetCounters()
+			net.MustRun(kga.Event{Type: kga.EvLeave, Members: ms[1:], Left: ms[:1]}, ms[1:])
+
+			assertCounts(t, "new controller", net.Counters[ms[1]].Snapshot(), map[string]int{
+				dh.OpLongTermKey: n - 2,
+				dh.OpPairwiseKey: n - 2,
+				dh.OpSessionKey:  1,
+				dh.OpKeyEncrypt:  n - 2,
+			})
+			if total := net.Counters[ms[1]].Total(); total != 3*n-5 {
+				t.Errorf("new controller total = %d, want 3n-5 = %d", total, 3*n-5)
+			}
+			for _, name := range ms[2:] {
+				assertCounts(t, "survivor "+name, net.Counters[name].Snapshot(), map[string]int{
+					dh.OpLongTermKey:    1,
+					dh.OpPairwiseKey:    1,
+					dh.OpPairwiseSecret: 1,
+					dh.OpKeyDecrypt:     1,
+				})
+			}
+		})
+	}
+}
+
+// TestTable5RefreshLineItems checks the key refresh accounting: the
+// controller reuses the standing pairwise keys, so a refresh is pure
+// redistribution — one session key plus n-1 encryptions; members pay one
+// decryption.
+func TestTable5RefreshLineItems(t *testing.T) {
+	n := 5
+	net := kgatest.NewNet(t, ProtoName, dh.Group512)
+	ms := names(n)
+	net.Grow(ms)
+	net.ResetCounters()
+	net.MustRun(kga.Event{Type: kga.EvRefresh, Members: ms}, ms)
+
+	assertCounts(t, "controller", net.Counters[ms[0]].Snapshot(), map[string]int{
+		dh.OpSessionKey: 1,
+		dh.OpKeyEncrypt: n - 1,
+	})
+	for _, name := range ms[1:] {
+		assertCounts(t, "member "+name, net.Counters[name].Snapshot(), map[string]int{
+			dh.OpKeyDecrypt: 1,
+		})
+	}
+}

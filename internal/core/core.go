@@ -245,6 +245,24 @@ func (c *Conn) GroupState(group string) (members []string, epoch uint64, secured
 	return members, epoch, secured
 }
 
+// KeyConfirmation reports the current key epoch and key-confirmation
+// digest of a secured group: the value announced during state alignment.
+// Members hold the same group secret iff their digests match, without
+// either revealing the secret — the handle external invariant checkers
+// (the chaos harness) compare cluster-wide.
+func (c *Conn) KeyConfirmation(group string) (epoch uint64, digest []byte, ok bool) {
+	_ = c.do(func() {
+		g, present := c.groups[group]
+		if !present || !g.secured() {
+			return
+		}
+		epoch = g.key.Epoch
+		digest = keyDigest(g.key.Bytes(), g.key.Epoch)
+		ok = true
+	})
+	return epoch, digest, ok
+}
+
 // Disconnect tears the connection down.
 func (c *Conn) Disconnect() error {
 	return c.f.Disconnect()

@@ -41,6 +41,11 @@ type SecureView struct {
 	// FullRekey reports that the cascading-event fallback (full IKA)
 	// was used instead of an incremental operation.
 	FullRekey bool
+	// KeyDigest is the key-confirmation digest of the installed secret —
+	// the same value members exchange in alignment announcements. Two
+	// members hold the same secret for this epoch iff their digests
+	// match, which is what cluster-wide invariant checks compare.
+	KeyDigest []byte
 }
 
 func (SecureView) isSecureEvent() {}

@@ -419,6 +419,7 @@ func (g *groupCtx) onKeyEstablished(k *kga.GroupKey) {
 		Controller: g.proto.Controller(),
 		Reason:     reason,
 		FullRekey:  g.fullRekey,
+		KeyDigest:  keyDigest(k.Bytes(), k.Epoch),
 	})
 
 	// Deliver application frames that raced ahead of our key.

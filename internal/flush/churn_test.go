@@ -1,37 +1,49 @@
-package flush
+package flush_test
 
 import (
 	"fmt"
 	"testing"
-	"time"
 
-	"repro/internal/spread"
+	"repro/internal/chaos"
 )
 
-// TestFlushUnderDaemonChurn runs join flushes while the daemon failure
-// detector is tuned so aggressively that spurious suspicions (and thus
-// daemon view churn) happen constantly. The flush layer must converge
-// anyway: this is the cascading-membership regression test at the flush
-// level.
+// TestFlushUnderDaemonChurn replays a chaos schedule weighted almost
+// entirely toward membership churn — joins, leaves, partitions, heals —
+// so that cascading flushes (a membership change arriving while the
+// previous flush is still collecting flush-oks) happen constantly. The
+// flush layer must discard every interrupted round and still converge:
+// this is the cascading-membership regression test at the flush level,
+// now on the deterministic harness so a failure reproduces by seed.
 func TestFlushUnderDaemonChurn(t *testing.T) {
-	for iter := 0; iter < 10; iter++ {
-		c, err := spread.NewCluster(2, spread.Config{
-			Heartbeat:    8 * time.Millisecond,
-			SuspectAfter: 20 * time.Millisecond, // trigger-happy on purpose
+	if testing.Short() {
+		t.Skip("churn test in -short mode")
+	}
+	churny := chaos.Weights{
+		Join:      30,
+		Leave:     14,
+		Partition: 20,
+		Heal:      26,
+		Send:      6,
+		Settle:    4,
+	}
+	for _, seed := range []uint64{31, 97} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaos.Run(chaos.Config{
+				Seed:    seed,
+				Events:  22,
+				Weights: churny,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Passed() {
+				t.Logf("schedule:\n%s\ntrace:\n%s", res.Schedule, res.TraceString())
+				for _, v := range res.Violations {
+					t.Errorf("invariant violated: %s", v)
+				}
+			}
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		a := connect(t, c.Daemons[0], "a")
-		b := connect(t, c.Daemons[1], "b")
-		group := fmt.Sprintf("g%d", iter)
-		if err := a.Join(group); err != nil {
-			t.Fatal(err)
-		}
-		if err := b.Join(group); err != nil {
-			t.Fatal(err)
-		}
-		flushAllUntil(t, group, 2, a, b)
-		c.Stop()
 	}
 }

@@ -25,10 +25,20 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/spread"
 )
+
+// debugFlush enables stderr tracing of the flush protocol (FLUSH_DEBUG=1).
+var debugFlush = os.Getenv("FLUSH_DEBUG") != ""
+
+func dbg(format string, args ...any) {
+	if debugFlush {
+		fmt.Fprintf(os.Stderr, "FLUSH "+format+"\n", args...)
+	}
+}
 
 // Errors returned by the flush layer.
 var (
@@ -283,6 +293,7 @@ func (f *Conn) onView(v spread.ViewEvent) {
 	g.buffered = nil
 	f.mu.Unlock()
 
+	dbg("%s onView grp=%s id=%v members=%v reason=%v", f.Name(), v.Group, v.ID, v.MemberNames(), v.Reason)
 	f.deliver(FlushRequest{Group: v.Group})
 }
 
@@ -304,9 +315,11 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 	g := f.groups[e.Group]
 	if g == nil || g.pending == nil || g.pending.ID != m.View {
 		f.mu.Unlock()
+		dbg("%s onFlushOK grp=%s from=%s id=%v STALE", f.Name(), e.Group, e.Sender, m.View)
 		return // stale flush-ok from an abandoned round
 	}
 	g.oks[e.Sender] = true
+	dbg("%s onFlushOK grp=%s from=%s id=%v oks=%d/%d", f.Name(), e.Group, e.Sender, m.View, len(g.oks), len(g.pending.Members))
 	if !f.flushCompleteLocked(g) {
 		f.mu.Unlock()
 		return
@@ -321,6 +334,7 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 	g.buffered = nil
 	f.mu.Unlock()
 
+	dbg("%s install grp=%s id=%v members=%v", f.Name(), e.Group, installed.ID, installed.MemberNames())
 	f.deliver(View{Info: installed})
 	for _, d := range buffered {
 		f.deliver(d)

@@ -190,6 +190,17 @@ func (c *Client) op(p payload) error {
 // submit originates a client operation, deferring it while the daemon
 // membership is in flux.
 func (d *Daemon) submit(p payload) {
+	switch p.Kind {
+	case payGroupJoin:
+		g := d.clientGroups[p.Member]
+		if g == nil {
+			g = make(map[string]bool)
+			d.clientGroups[p.Member] = g
+		}
+		g[p.Group] = true
+	case payGroupLeave:
+		delete(d.clientGroups[p.Member], p.Group)
+	}
 	if d.form.active || len(d.stateWait) > 0 {
 		d.queuedOps = append(d.queuedOps, queuedOp{p: p})
 		return
@@ -221,16 +232,25 @@ func (d *Daemon) disconnectClient(c *Client, cause error) {
 		return
 	}
 	delete(d.clients, c.name)
-	for name, g := range d.groups {
-		if g.index(c.name) >= 0 {
-			d.submit(payload{
-				Kind:       payGroupLeave,
-				Group:      name,
-				Member:     c.name,
-				Disconnect: true,
-			})
-		}
+	// Queued ops the client originated are NOT purged: the departure
+	// announcements below are appended to the same queue, so a deferred
+	// join or message still replays before the matching leave.
+	// Announce the departure for every group the client REQUESTED to
+	// join, not just those where the join has already applied: a join
+	// still in the agreed-delivery pipeline (or the group map being empty
+	// mid state exchange) would otherwise swallow the leave and strand the
+	// client as a phantom member. FIFO ordering per origin daemon puts
+	// this leave after the in-flight join at every receiver; a leave with
+	// no applied join is a no-op everywhere.
+	for name := range d.clientGroups[c.name] {
+		d.submit(payload{
+			Kind:       payGroupLeave,
+			Group:      name,
+			Member:     c.name,
+			Disconnect: true,
+		})
 	}
+	delete(d.clientGroups, c.name)
 	c.close(cause)
 }
 

@@ -48,11 +48,28 @@ type Daemon struct {
 	retained     map[msgKey]*dataMsg
 	futureMsgs   []*dataMsg // data for views not yet installed
 
+	// Per-sender gap-free prefix of the current view's sequence space:
+	// contigSeq is the highest seq through which every message has been
+	// received (delivered or pending), contigLTS the Lamport timestamp of
+	// that last contiguous message. seenLTS may only advance along the
+	// contiguous prefix — advancing it past a link-dropped message would
+	// move the agreed horizon over a hole and desynchronize delivery.
+	contigSeq map[string]uint64
+	contigLTS map[string]uint64
+	lastNack  map[string]time.Time // per-origin retransmission request limiter
+
 	form formingState
 
 	groups     map[string]*group
 	prevGroups map[string]*group // snapshot taken at view install
 	clients    map[string]*Client
+
+	// clientGroups tracks each local client's requested memberships: a
+	// group is added when the client submits a join and removed on its
+	// leave. Group maps lag behind in-flight joins, so a disconnect must
+	// consult this intent record — not the membership — to know which
+	// groups need a departure announcement.
+	clientGroups map[string]map[string]bool
 
 	lastEcho time.Time
 
@@ -120,9 +137,13 @@ func NewDaemon(name string, peers []string, net transport.Network, cfg Config) (
 		deliveredSeq: make(map[string]uint64),
 		pending:      make(map[string][]*dataMsg),
 		retained:     make(map[msgKey]*dataMsg),
+		contigSeq:    make(map[string]uint64),
+		contigLTS:    make(map[string]uint64),
+		lastNack:     make(map[string]time.Time),
 		groups:       make(map[string]*group),
 		prevGroups:   make(map[string]*group),
 		clients:      make(map[string]*Client),
+		clientGroups: make(map[string]map[string]bool),
 	}
 	if !slices.Contains(d.peers, name) {
 		d.peers = append(d.peers, name)
@@ -255,6 +276,8 @@ func (d *Daemon) dispatch(from string, m *wireMsg) {
 		d.onSecKGA(from, m.Sec)
 	case kindSecData:
 		d.onSecData(from, m.Sec)
+	case kindNack:
+		d.onNack(from, m.Nack)
 	}
 }
 
@@ -269,6 +292,7 @@ func (d *Daemon) tick() {
 		View:   d.view.ID,
 		LTS:    d.lts,
 		Stable: d.receiveHorizon(),
+		Seq:    d.seq,
 	}}
 	data, err := encodeWire(hb)
 	if err == nil {
@@ -351,7 +375,14 @@ func (d *Daemon) onHeartbeat(from string, hb *hbMsg) {
 	}
 	inView := slices.Contains(d.view.Members, from)
 	if inView && hb.View == d.view.ID {
-		if hb.LTS > d.seenLTS[from] {
+		if hb.Seq > d.contigSeq[from] {
+			// The sender originated messages we never received: the link
+			// dropped them. Ask for retransmission and keep the horizon
+			// pinned at the contiguous prefix until the gap closes.
+			d.requestMissing(from, from, d.contigSeq[from]+1, hb.Seq)
+		} else if hb.LTS > d.seenLTS[from] {
+			// All originated messages are accounted for, so the advertised
+			// clock hides no undelivered data.
 			d.seenLTS[from] = hb.LTS
 			d.tryDeliver()
 		}
@@ -482,6 +513,7 @@ func (d *Daemon) echoHeartbeat() {
 		View:   d.view.ID,
 		LTS:    d.lts,
 		Stable: d.receiveHorizon(),
+		Seq:    d.seq,
 	}}
 	data, err := encodeWire(hb)
 	if err != nil {
@@ -495,12 +527,12 @@ func (d *Daemon) echoHeartbeat() {
 }
 
 // acceptData inserts a message into the pending structures (idempotent).
+// The per-sender horizon advances only along the contiguous sequence
+// prefix; a message beyond a gap parks in pending and triggers a
+// retransmission request instead.
 func (d *Daemon) acceptData(m *dataMsg) {
 	if m.LTS > d.lts {
 		d.lts = m.LTS
-	}
-	if m.LTS > d.seenLTS[m.Sender] {
-		d.seenLTS[m.Sender] = m.LTS
 	}
 	if m.Seq <= d.deliveredSeq[m.Sender] {
 		return // already delivered
@@ -523,6 +555,109 @@ func (d *Daemon) acceptData(m *dataMsg) {
 		return
 	}
 	d.pending[m.Sender] = slices.Insert(q, pos, m)
+	d.advanceContig(m.Sender)
+}
+
+// advanceContig extends the sender's gap-free prefix through the pending
+// queue, advances the agreed horizon along it, and requests retransmission
+// for any remaining hole.
+func (d *Daemon) advanceContig(sender string) {
+	cs := d.contigSeq[sender]
+	lts := d.contigLTS[sender]
+	q := d.pending[sender]
+	i := 0
+	for i < len(q) && q[i].Seq <= cs {
+		i++ // counted already, awaiting the delivery horizon
+	}
+	for i < len(q) && q[i].Seq == cs+1 {
+		cs++
+		lts = q[i].LTS
+		i++
+	}
+	d.contigSeq[sender] = cs
+	d.contigLTS[sender] = lts
+	if lts > d.seenLTS[sender] {
+		d.seenLTS[sender] = lts
+	}
+	if i < len(q) {
+		// Entries beyond the prefix mean the link dropped the sequence
+		// numbers in between.
+		d.requestMissing(sender, sender, cs+1, q[i].Seq-1)
+	}
+}
+
+// requestMissing NACKs a per-sender sequence gap to a view member, which
+// retransmits from its retained buffer. Rate-limited to one request per
+// origin per heartbeat interval; the gap re-arms it on the next heartbeat
+// if the retransmission was itself lost.
+func (d *Daemon) requestMissing(to, origin string, from, upto uint64) {
+	if upto < from || to == d.name || !slices.Contains(d.view.Members, to) {
+		return
+	}
+	now := time.Now()
+	if now.Sub(d.lastNack[origin]) < d.cfg.Heartbeat {
+		return
+	}
+	d.lastNack[origin] = now
+	d.sendTo(to, &wireMsg{Kind: kindNack, Nack: &nackMsg{
+		View:   d.view.ID,
+		Sender: origin,
+		From:   from,
+		To:     upto,
+	}})
+}
+
+// onNack retransmits the requested messages from the retained and pending
+// buffers to the requester. Stability GC cannot have discarded them: the
+// requester's stalled receive horizon holds the stability horizon below
+// the missing timestamps.
+func (d *Daemon) onNack(from string, n *nackMsg) {
+	if n == nil || n.View != d.view.ID {
+		return // the view change machinery recovers across views
+	}
+	upto := n.To
+	if upto < n.From {
+		return
+	}
+	if upto-n.From > 4096 {
+		upto = n.From + 4096 // cap a malformed or hostile range
+	}
+	for seq := n.From; seq <= upto; seq++ {
+		m := d.retained[msgKey{Sender: n.Sender, Seq: seq}]
+		if m == nil {
+			for _, pm := range d.pending[n.Sender] {
+				if pm.Seq == seq {
+					m = pm
+					break
+				}
+			}
+		}
+		if m == nil {
+			continue
+		}
+		d.resendData(from, m)
+	}
+}
+
+// resendData re-sends one data message to a single daemon, sealed exactly
+// like the original broadcast when daemon keying is on.
+func (d *Daemon) resendData(to string, m *dataMsg) {
+	wire, err := encodeWire(&wireMsg{Kind: kindData, Data: m})
+	if err != nil {
+		return
+	}
+	out := &wireMsg{Kind: kindData, Data: m}
+	if d.sec != nil && d.sec.suite != nil {
+		if sealed, serr := d.secSeal(wire); serr == nil {
+			out = sealed
+		}
+	}
+	enc, err := encodeWire(out)
+	if err != nil {
+		return
+	}
+	d.counters.msgsRetransmitted++
+	_ = d.node.Send(to, enc)
 }
 
 // tryDeliver delivers every message whose ordering constraints are met:

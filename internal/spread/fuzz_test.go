@@ -1,0 +1,123 @@
+package spread
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// corpusWire returns one representative encoded frame per daemon wire kind,
+// used both as the fuzz seed corpus and by the checked-in-corpus generator.
+func corpusWire(t testing.TB) [][]byte {
+	t.Helper()
+	v := ViewID{Epoch: 3, Coord: "d00"}
+	data := dataMsg{
+		View: v, Sender: "d01", Seq: 2, LTS: 11,
+		P: payload{
+			Kind: payClientData, Group: "g", Member: "a#d01",
+			Service: Agreed, Data: []byte("hello"),
+		},
+	}
+	msgs := []*wireMsg{
+		{Kind: kindHeartbeat, HB: &hbMsg{View: v, LTS: 17, Stable: 9, Seq: 4}},
+		{Kind: kindData, Data: &data},
+		{Kind: kindData, Data: &dataMsg{
+			View: v, Sender: "d00", Seq: 1, LTS: 5,
+			P: payload{Kind: payGroupJoin, Group: "g", Member: "b#d00"},
+		}},
+		{Kind: kindData, Data: &dataMsg{
+			View: v, Sender: "d02", Seq: 3, LTS: 12,
+			P: payload{
+				Kind: payGroupState,
+				State: []stateEntry{{
+					Group: "g", Member: "a#d01", Daemon: "d01",
+					Stamp: Stamp{Epoch: 3, LTS: 1, Name: "a#d01"}, PrevView: v, ViewSeq: 2,
+				}},
+			},
+		}},
+		{Kind: kindPropose, Prop: &proposeMsg{Round: 7}},
+		{Kind: kindSync, Sync: &syncMsg{Round: 7, Members: []string{"d00", "d01"}}},
+		{Kind: kindSyncAck, SyncAck: &syncAckMsg{
+			Round: 7, OldView: v, Msgs: []dataMsg{data},
+			Sealed: []sealedData{{Sender: "d00", Seq: 1, Frame: []byte{1, 2, 3}}},
+		}},
+		{Kind: kindInstall, Install: &installMsg{
+			Round:     7,
+			View:      View{ID: ViewID{Epoch: 4, Coord: "d00"}, Members: []string{"d00", "d01"}},
+			Recovered: map[ViewID][]dataMsg{v: {data}},
+		}},
+		{Kind: kindNack, Nack: &nackMsg{View: v, Sender: "d01", From: 2, To: 5}},
+	}
+	var out [][]byte
+	for _, m := range msgs {
+		enc, err := encodeWire(m)
+		if err != nil {
+			t.Fatalf("encode corpus message kind %d: %v", m.Kind, err)
+		}
+		out = append(out, enc)
+	}
+	return out
+}
+
+// FuzzWireRoundTrip feeds arbitrary bytes to the daemon wire decoder. The
+// decoder must never panic; any frame it accepts must survive a normalized
+// re-encode/re-decode round trip exactly (decode is canonicalizing: the
+// first decode maps wire bytes to a value, after which encode/decode is an
+// exact identity).
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, b := range corpusWire(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			return // bound allocation, matching daemon frame expectations
+		}
+		m, err := decodeWire(raw)
+		if err != nil {
+			return // rejected frames are fine; panics are not
+		}
+		enc, err := encodeWire(m)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		m2, err := decodeWire(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		enc2, err := encodeWire(m2)
+		if err != nil {
+			t.Fatalf("normalized frame failed to re-encode: %v", err)
+		}
+		m3, err := decodeWire(enc2)
+		if err != nil {
+			t.Fatalf("normalized frame failed to re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(m2, m3) {
+			t.Fatalf("wire round trip not stable:\nfirst:  %#v\nsecond: %#v", m2, m3)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Gated so normal runs never touch the tree:
+//
+//	WRITE_FUZZ_CORPUS=1 go test ./internal/spread -run TestWriteFuzzCorpus
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the checked-in corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range corpusWire(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

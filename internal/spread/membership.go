@@ -380,6 +380,9 @@ func (d *Daemon) installView(inst *installMsg) {
 	d.deliveredSeq = make(map[string]uint64)
 	d.pending = make(map[string][]*dataMsg)
 	d.retained = make(map[msgKey]*dataMsg)
+	d.contigSeq = make(map[string]uint64)
+	d.contigLTS = make(map[string]uint64)
+	d.lastNack = make(map[string]time.Time)
 	d.form = formingState{maxRound: max(d.form.maxRound, d.form.round)}
 
 	// Snapshot groups for view-event computation and begin the state

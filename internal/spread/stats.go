@@ -12,6 +12,9 @@ type Stats struct {
 	MsgsDelivered int
 	// MsgsRecovered counts messages merged from delivery-cut unions.
 	MsgsRecovered int
+	// MsgsRetransmitted counts messages re-sent to close link-loss gaps
+	// reported by NACKs.
+	MsgsRetransmitted int
 	// Groups is the number of known process groups.
 	Groups int
 	// Clients is the number of local client connections.
@@ -25,10 +28,11 @@ type Stats struct {
 
 // statsCounters holds the loop-owned tallies behind Stats.
 type statsCounters struct {
-	viewsInstalled int
-	msgsSent       int
-	msgsDelivered  int
-	msgsRecovered  int
+	viewsInstalled    int
+	msgsSent          int
+	msgsDelivered     int
+	msgsRecovered     int
+	msgsRetransmitted int
 }
 
 // Stats returns a snapshot of the daemon's counters.
@@ -36,14 +40,15 @@ func (d *Daemon) Stats() Stats {
 	var out Stats
 	_ = d.do(func() {
 		out = Stats{
-			View:           View{ID: d.view.ID, Members: append([]string(nil), d.view.Members...)},
-			ViewsInstalled: d.counters.viewsInstalled,
-			MsgsSent:       d.counters.msgsSent,
-			MsgsDelivered:  d.counters.msgsDelivered,
-			MsgsRecovered:  d.counters.msgsRecovered,
-			Groups:         len(d.groups),
-			Clients:        len(d.clients),
-			Retained:       len(d.retained),
+			View:              View{ID: d.view.ID, Members: append([]string(nil), d.view.Members...)},
+			ViewsInstalled:    d.counters.viewsInstalled,
+			MsgsSent:          d.counters.msgsSent,
+			MsgsDelivered:     d.counters.msgsDelivered,
+			MsgsRecovered:     d.counters.msgsRecovered,
+			MsgsRetransmitted: d.counters.msgsRetransmitted,
+			Groups:            len(d.groups),
+			Clients:           len(d.clients),
+			Retained:          len(d.retained),
 		}
 		if d.sec != nil && d.sec.key != nil {
 			out.DaemonKeyEpoch = d.sec.key.Epoch

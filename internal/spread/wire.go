@@ -20,6 +20,9 @@ const (
 	kindSecAnnounce
 	kindSecKGA
 	kindSecData
+	// Link-loss recovery: a receiver that detects a per-sender sequence
+	// gap asks the origin to retransmit from its retained buffer.
+	kindNack
 )
 
 // payloadKind classifies the content of a data message.
@@ -43,6 +46,7 @@ type wireMsg struct {
 	SyncAck *syncAckMsg
 	Install *installMsg
 	Sec     *secMsg
+	Nack    *nackMsg
 }
 
 // hbMsg is a heartbeat: it advertises liveness, advances the Lamport
@@ -52,6 +56,11 @@ type hbMsg struct {
 	View   ViewID
 	LTS    uint64
 	Stable uint64 // all messages with LTS <= Stable have been delivered here
+	// Seq is the sender's last originated per-view sequence number. A
+	// receiver holding less detects that the link lost messages and asks
+	// for retransmission; the Lamport horizon must not advance past the
+	// gap, or agreed delivery at this daemon diverges from the others.
+	Seq uint64
 }
 
 // dataMsg carries client traffic or group bookkeeping within a view.
@@ -112,6 +121,18 @@ type stateEntry struct {
 	// sending daemon, used to keep GroupViewID.Seq monotonic across
 	// merges.
 	ViewSeq uint64
+}
+
+// nackMsg asks the origin daemon to retransmit messages the link dropped:
+// the requester is missing Sender's per-view sequence numbers [From, To].
+// Transport links are FIFO but not loss-free under fault injection; without
+// recovery a dropped agreed message would silently desynchronize one
+// daemon's delivery order from the rest of the view.
+type nackMsg struct {
+	View   ViewID
+	Sender string // origin of the missing messages
+	From   uint64
+	To     uint64
 }
 
 // proposeMsg asks the coordinator to include the sender in the next view.

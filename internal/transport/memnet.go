@@ -23,16 +23,33 @@ type MemNetwork struct {
 	rngState uint64
 }
 
+// defaultRNGSeed seeds the drop-decision stream when SetSeed was never
+// called (or was called with zero, the xorshift fixed point).
+const defaultRNGSeed = 0x9e3779b97f4a7c15
+
 // NewMemNetwork creates an empty in-memory network.
 func NewMemNetwork() *MemNetwork {
 	return &MemNetwork{
 		nodes:    make(map[string]*memNode),
 		comp:     make(map[string]int),
-		rngState: 0x9e3779b97f4a7c15,
+		rngState: defaultRNGSeed,
 	}
 }
 
 var _ Network = (*MemNetwork)(nil)
+
+// SetSeed reseeds the pseudo-random stream that decides message drops, so
+// fault schedules replay deterministically: two networks seeded alike make
+// identical drop decisions for the same sequence of sends. A zero seed
+// (the xorshift fixed point) selects the default seed.
+func (n *MemNetwork) SetSeed(seed uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if seed == 0 {
+		seed = defaultRNGSeed
+	}
+	n.rngState = seed
+}
 
 // SetLatency sets the one-way delivery delay applied to every message.
 func (n *MemNetwork) SetLatency(d time.Duration) {
