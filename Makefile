@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-exp
+.PHONY: check vet build test race chaos bench-exp bench-obs obs-smoke
 
 ## check: the full local gate — vet, build, tests, and the race suite on
 ## the packages with concurrency-sensitive fast paths.
@@ -29,3 +29,13 @@ chaos:
 ## scaling, Seal/Open pooling cost).
 bench-exp:
 	$(GO) test -run TestWriteBenchExpJSON -v .
+
+## bench-obs: regenerate BENCH_obs.json (per-class rekey-latency and
+## flush-round histograms from a deterministic chaos run).
+bench-obs:
+	$(GO) run ./cmd/sgcbench -chaos -seed 1 -events 33 -obs-out BENCH_obs.json
+
+## obs-smoke: boot a 3-daemon TCP cluster with -debug-addr, curl the
+## introspection endpoints, and assert the payloads are well-formed JSON.
+obs-smoke:
+	./scripts/obs-smoke.sh

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	_ "repro/internal/ckd"
 	_ "repro/internal/cliques"
 	"repro/internal/dh"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -41,19 +43,20 @@ func main() {
 	seed := flag.Uint64("seed", 1, "chaos schedule seed")
 	events := flag.Int("events", 33, "chaos schedule length")
 	proto := flag.String("proto", "both", "chaos key agreement protocol: cliques|ckd|both")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "chaos mode: write the observability report here (empty disables)")
 	flag.Parse()
 
 	exp := *experiment
 	if *chaosMode {
 		exp = "chaos"
 	}
-	if err := run(exp, *nmax, *step, *batch, *bits, *seed, *events, *proto); err != nil {
+	if err := run(exp, *nmax, *step, *batch, *bits, *seed, *events, *proto, *obsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, nmax, step, batch, bits int, seed uint64, events int, proto string) error {
+func run(experiment string, nmax, step, batch, bits int, seed uint64, events int, proto, obsOut string) error {
 	switch experiment {
 	case "table2":
 		return table2()
@@ -66,7 +69,7 @@ func run(experiment string, nmax, step, batch, bits int, seed uint64, events int
 	case "figure4":
 		return figure4(nmax, step, batch, bits)
 	case "chaos":
-		return chaosExperiment(seed, events, proto)
+		return chaosExperiment(seed, events, proto, obsOut)
 	case "all":
 		for _, fn := range []func() error{table2, table3, table4} {
 			if err := fn(); err != nil {
@@ -87,7 +90,7 @@ func run(experiment string, nmax, step, batch, bits int, seed uint64, events int
 // violation. Because the schedule is derived only from the seed, a failure
 // reported here reproduces exactly with the same flags (or with
 // `go test ./internal/chaos -run TestChaos -chaos.seed=N`).
-func chaosExperiment(seed uint64, events int, proto string) error {
+func chaosExperiment(seed uint64, events int, proto, obsOut string) error {
 	protos := []string{"cliques", "ckd"}
 	switch proto {
 	case "both":
@@ -96,6 +99,7 @@ func chaosExperiment(seed uint64, events int, proto string) error {
 	default:
 		return fmt.Errorf("unknown chaos protocol %q", proto)
 	}
+	report := obsReport{Seed: seed, Events: events, Protocols: make(map[string]protoObs)}
 	failed := false
 	for _, p := range protos {
 		res, err := chaos.Run(chaos.Config{Seed: seed, Events: events, Proto: p})
@@ -110,13 +114,63 @@ func chaosExperiment(seed uint64, events int, proto string) error {
 		}
 		if !res.Passed() {
 			failed = true
+			for _, line := range res.CausalTrace {
+				fmt.Println(line)
+			}
 		}
 		fmt.Printf("final epoch %d, %d warnings\n\n", res.FinalEpoch, res.Warnings)
+		report.Protocols[p] = summarizeObs(res)
+	}
+	if obsOut != "" {
+		if err := bench.WriteJSON(obsOut, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", obsOut)
 	}
 	if failed {
 		return fmt.Errorf("chaos: invariant violations at seed %d (deterministic: rerun with -chaos -seed %d)", seed, seed)
 	}
 	return nil
+}
+
+// obsReport is the BENCH_obs.json schema: per-protocol rekey latency
+// histograms keyed by membership-event class, flush-round durations, and
+// the run-wide counters, all from the chaos run's shared metrics registry.
+type obsReport struct {
+	Seed      uint64              `json:"seed"`
+	Events    int                 `json:"events"`
+	Protocols map[string]protoObs `json:"protocols"`
+}
+
+type protoObs struct {
+	FinalEpoch   uint64                           `json:"final_epoch"`
+	Passed       bool                             `json:"passed"`
+	RekeyLatency map[string]obs.HistogramSnapshot `json:"rekey_latency_by_class"`
+	FlushRound   obs.HistogramSnapshot            `json:"flush_round"`
+	Counters     map[string]int64                 `json:"counters"`
+}
+
+// summarizeObs reshapes a run's metrics snapshot: "rekey_latency{class}"
+// histograms become a class-keyed map ("all" is the unlabelled aggregate).
+func summarizeObs(res *chaos.Result) protoObs {
+	out := protoObs{
+		FinalEpoch:   res.FinalEpoch,
+		Passed:       res.Passed(),
+		RekeyLatency: make(map[string]obs.HistogramSnapshot),
+		Counters:     res.Metrics.Counters,
+	}
+	for name, h := range res.Metrics.Histograms {
+		switch {
+		case name == "rekey_latency":
+			out.RekeyLatency["all"] = h
+		case strings.HasPrefix(name, "rekey_latency{") && strings.HasSuffix(name, "}"):
+			class := name[len("rekey_latency{") : len(name)-1]
+			out.RekeyLatency[class] = h
+		case name == "flush_round_duration":
+			out.FlushRound = h
+		}
+	}
+	return out
 }
 
 func newTab() *tabwriter.Writer {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -14,7 +17,7 @@ func TestBenchTables(t *testing.T) {
 	for _, exp := range []string{"table2", "table3", "table4"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 6, 3, 1, 512, 1, 0, "both"); err != nil {
+			if err := run(exp, 6, 3, 1, 512, 1, 0, "both", ""); err != nil {
 				t.Fatalf("%s: %v", exp, err)
 			}
 		})
@@ -22,23 +25,52 @@ func TestBenchTables(t *testing.T) {
 }
 
 // TestBenchChaosMode smoke-tests the chaos experiment: a short schedule
-// under one protocol must replay and pass all invariants.
+// under one protocol must replay, pass all invariants, and write the
+// observability report with per-class rekey-latency histograms.
 func TestBenchChaosMode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench smoke test in -short mode")
 	}
-	if err := run("chaos", 0, 0, 0, 0, 2, 12, "cliques"); err != nil {
+	out := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	if err := run("chaos", 0, 0, 0, 0, 2, 12, "cliques", out); err != nil {
 		t.Fatalf("chaos: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("observability report not written: %v", err)
+	}
+	var rep obsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	po, ok := rep.Protocols["cliques"]
+	if !ok {
+		t.Fatalf("report has no cliques entry: %s", data)
+	}
+	if h, ok := po.RekeyLatency["all"]; !ok || h.Count == 0 {
+		t.Errorf("aggregate rekey-latency histogram missing or empty: %v", po.RekeyLatency)
+	}
+	classes := 0
+	for class := range po.RekeyLatency {
+		if class != "all" {
+			classes++
+		}
+	}
+	if classes == 0 {
+		t.Errorf("no per-class rekey-latency histograms: %v", po.RekeyLatency)
+	}
+	if po.FlushRound.Count == 0 {
+		t.Error("flush-round histogram is empty")
 	}
 }
 
 // TestBenchUnknownExperiment checks the error paths: an unknown experiment
 // name and an unknown chaos protocol must be rejected.
 func TestBenchUnknownExperiment(t *testing.T) {
-	if err := run("tableX", 0, 0, 0, 0, 1, 0, "both"); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+	if err := run("tableX", 0, 0, 0, 0, 1, 0, "both", ""); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("unknown experiment error = %v", err)
 	}
-	if err := run("chaos", 0, 0, 0, 0, 1, 12, "telepathy"); err == nil || !strings.Contains(err.Error(), "unknown chaos protocol") {
+	if err := run("chaos", 0, 0, 0, 0, 1, 12, "telepathy", ""); err == nil || !strings.Contains(err.Error(), "unknown chaos protocol") {
 		t.Errorf("unknown chaos protocol error = %v", err)
 	}
 }

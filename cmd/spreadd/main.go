@@ -21,12 +21,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/spread"
 	"repro/internal/transport"
 )
@@ -36,15 +39,16 @@ func main() {
 	config := flag.String("config", "", "segment configuration file")
 	heartbeat := flag.Duration("heartbeat", 20*time.Millisecond, "heartbeat interval")
 	clientListen := flag.String("client-listen", "", "optional host:port to serve remote clients on")
+	debugAddr := flag.String("debug-addr", "", "optional host:port for the introspection endpoints (/metrics, /trace, /debug/pprof)")
 	flag.Parse()
 
-	if err := run(*name, *config, *heartbeat, *clientListen); err != nil {
+	if err := run(*name, *config, *heartbeat, *clientListen, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(name, config string, heartbeat time.Duration, clientListen string) error {
+func run(name, config string, heartbeat time.Duration, clientListen, debugAddr string) error {
 	if name == "" || config == "" {
 		return fmt.Errorf("both -name and -config are required")
 	}
@@ -56,12 +60,12 @@ func run(name, config string, heartbeat time.Duration, clientListen string) erro
 		return fmt.Errorf("daemon %q not in configuration %s", name, config)
 	}
 
-	net := transport.NewTCPNetwork(addrs)
+	nw := transport.NewTCPNetwork(addrs)
 	peers := make([]string, 0, len(addrs))
 	for p := range addrs {
 		peers = append(peers, p)
 	}
-	d, err := spread.NewDaemon(name, peers, net, spread.Config{Heartbeat: heartbeat})
+	d, err := spread.NewDaemon(name, peers, nw, spread.Config{Heartbeat: heartbeat})
 	if err != nil {
 		return err
 	}
@@ -73,6 +77,21 @@ func run(name, config string, heartbeat time.Duration, clientListen string) erro
 			return err
 		}
 		log.Printf("daemon %s serving remote clients on %s", name, ln.Addr())
+	}
+	if debugAddr != "" {
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			d.Stop()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		srv := &http.Server{Handler: obs.Mux(d.Obs())}
+		go func() {
+			if err := srv.Serve(ln); err != http.ErrServerClosed {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		defer srv.Close()
+		log.Printf("daemon %s serving introspection on http://%s/metrics", name, ln.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)

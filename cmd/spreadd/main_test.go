@@ -1,9 +1,18 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/spread"
+	"repro/internal/transport"
 )
 
 func writeConfig(t *testing.T, content string) string {
@@ -57,11 +66,91 @@ func TestParseConfigErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 0, ""); err == nil {
+	if err := run("", "", 0, "", ""); err == nil {
 		t.Fatal("missing flags accepted")
 	}
 	cfg := writeConfig(t, "other 127.0.0.1:4803\n")
-	if err := run("me", cfg, 0, ""); err == nil {
+	if err := run("me", cfg, 0, "", ""); err == nil {
 		t.Fatal("daemon missing from config accepted")
+	}
+}
+
+// TestDebugEndpoints serves a live daemon's introspection mux (what
+// -debug-addr exposes) and checks the /metrics, /trace, and /healthz
+// payloads are well-formed JSON with the expected fields.
+func TestDebugEndpoints(t *testing.T) {
+	// Two daemons so the membership protocol actually runs: a singleton's
+	// initial self-view is set at construction and installs nothing.
+	nw := transport.NewMemNetwork()
+	peers := []string{"d1", "d2"}
+	var daemons []*spread.Daemon
+	for _, name := range peers {
+		d, err := spread.NewDaemon(name, peers, nw, spread.Config{Heartbeat: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Stop()
+		daemons = append(daemons, d)
+	}
+
+	srv := httptest.NewServer(obs.Mux(daemons[0].Obs()))
+	defer srv.Close()
+
+	// Let the pair agree on a two-member view so the metrics and trace
+	// are non-trivial.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(daemons[0].CurrentView().Members) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemons never agreed on a two-member view")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var metrics struct {
+		Node    string `json:"node"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(get("/metrics"), &metrics); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if metrics.Node != "d1" {
+		t.Errorf("/metrics node = %q, want d1", metrics.Node)
+	}
+	if metrics.Metrics.Counters["spread_views_installed"] == 0 {
+		t.Errorf("spread_views_installed = 0 after view install; counters: %v", metrics.Metrics.Counters)
+	}
+
+	var trace struct {
+		Node   string            `json:"node"`
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(get("/trace"), &trace); err != nil {
+		t.Fatalf("/trace is not JSON: %v", err)
+	}
+	if len(trace.Events) == 0 {
+		t.Error("/trace has no events after a view install")
+	}
+
+	if body := get("/healthz"); !json.Valid(body) {
+		t.Errorf("/healthz is not JSON: %q", body)
 	}
 }

@@ -3,6 +3,7 @@ package chaos
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -165,6 +166,77 @@ func TestScheduleWellFormed(t *testing.T) {
 		}
 		if got := fmt.Sprint(sortedKeys(clients)); got != fmt.Sprint(s.FinalClients) {
 			t.Fatalf("seed %d: FinalClients %v != replayed model %v", seed, s.FinalClients, sortedKeys(clients))
+		}
+	}
+}
+
+// TestChaosCausalTraceOnViolation forces a synthetic invariant failure and
+// checks the post-mortem dump: the run-wide metrics snapshot is populated
+// and the causal trace names the view id, KGA state, and last flush round
+// of every node before the merged, time-ordered event trace.
+func TestChaosCausalTraceOnViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is not a -short test")
+	}
+	cfg := Config{
+		Seed:   5,
+		Events: 10,
+		extraInvariant: func(d *driver) []string {
+			return []string{"synthetic: forced failure (trace-dump test)"}
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if res.Passed() {
+		t.Fatal("synthetic invariant did not register as a violation")
+	}
+	if got := res.TraceString(); !strings.Contains(got, "I6 synthetic") {
+		t.Errorf("invariant trace missing the I6 line:\n%s", got)
+	}
+
+	if len(res.Metrics.Histograms) == 0 {
+		t.Fatal("Metrics snapshot has no histograms")
+	}
+	if h, ok := res.Metrics.Histograms["rekey_latency"]; !ok || h.Count == 0 {
+		t.Errorf("rekey_latency histogram missing or empty: %+v", res.Metrics.Histograms)
+	}
+	if res.Metrics.Counters["dh_exp_total"] == 0 {
+		t.Error("dh_exp_total counter is zero: counter mirroring is not wired")
+	}
+
+	if len(res.CausalTrace) == 0 {
+		t.Fatal("violation produced no causal trace")
+	}
+	dump := strings.Join(res.CausalTrace, "\n")
+	// Every daemon and every client must get a summary line.
+	for _, dn := range res.Schedule.Daemons {
+		if !strings.Contains(dump, "node "+dn+":") {
+			t.Errorf("causal trace has no summary for daemon %s:\n%s", dn, dump)
+		}
+	}
+	sawClient := false
+	for _, line := range res.CausalTrace {
+		if line == "-- merged causal trace --" {
+			break
+		}
+		if strings.Contains(line, "kga-state=") {
+			sawClient = true
+			for _, field := range []string{"view=", "kga-state=", "last-flush="} {
+				if !strings.Contains(line, field) {
+					t.Errorf("client summary line missing %s: %s", field, line)
+				}
+			}
+		}
+	}
+	if !sawClient {
+		t.Errorf("causal trace has no client summary lines:\n%s", dump)
+	}
+	// The merged trace must span the causal chain across layers.
+	for _, kind := range []string{"view-install", "vs-view-install", "key-install", "kga-state", "first-send", "fault"} {
+		if !strings.Contains(dump, kind) {
+			t.Errorf("merged causal trace has no %q events:\n%s", kind, dump)
 		}
 	}
 }

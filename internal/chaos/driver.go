@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypt"
 	"repro/internal/dh"
+	"repro/internal/obs"
 	"repro/internal/spread"
 	"repro/internal/transport"
 
@@ -45,6 +46,12 @@ type Config struct {
 	// ConvergeTimeout bounds the post-schedule quiescence wait
 	// (default 60s).
 	ConvergeTimeout time.Duration
+
+	// extraInvariant, when set (tests only — the field is unexported),
+	// runs after the standard invariant checks; any strings it returns
+	// are recorded as violations. It exists to exercise the causal-trace
+	// dump path without waiting for a real invariant to fail.
+	extraInvariant func(*driver) []string
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +110,15 @@ type Result struct {
 	FinalEpoch uint64
 	// Exps is the per-client exponentiation accounting by label.
 	Exps map[string]map[string]int
+	// Metrics is the run-wide metrics snapshot from the registry shared
+	// by every client: rekey latency by membership-event class, flush
+	// round durations, exponentiation counts.
+	Metrics obs.Snapshot
+	// CausalTrace is populated only when an invariant fails: one summary
+	// line per node (its view id, KGA state, and last flush round)
+	// followed by the merged, time-ordered causal event trace of every
+	// node in the run.
+	CausalTrace []string
 }
 
 // Passed reports whether every invariant held.
@@ -132,6 +148,7 @@ type client struct {
 	member  string // full member name ("c03#d01")
 	conn    *core.Conn
 	counter *dh.Counter
+	obs     *obs.Scope
 
 	mu       sync.Mutex
 	views    []viewRec
@@ -198,6 +215,16 @@ type driver struct {
 	daemons  map[string]*spread.Daemon
 	clients  map[string]*client // by schedule name, alive only
 	departed []*client          // disconnected/left/crashed clients (logs kept)
+
+	// reg is the metrics registry shared by every client in the run, so
+	// per-class rekey histograms aggregate cluster-wide. Recorders stay
+	// per node: each client gets a private ring in its scope, and dead
+	// holds the scopes of crashed daemons so their traces survive into
+	// the violation dump.
+	reg  *obs.Registry
+	obs  *obs.Scope // the driver's own trace ring (schedule events)
+	log  *obs.Logger
+	dead []*obs.Scope
 }
 
 // Run generates the schedule for cfg.Seed, replays it, forces quiescence,
@@ -216,12 +243,16 @@ func Run(cfg Config) (*Result, error) {
 // agreement modules.
 func Replay(cfg Config, sched *Schedule) (*Result, error) {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	d := &driver{
 		cfg:     cfg,
 		sched:   sched,
 		net:     transport.NewMemNetwork(),
 		daemons: make(map[string]*spread.Daemon),
 		clients: make(map[string]*client),
+		reg:     reg,
+		obs:     &obs.Scope{Node: "driver", Rec: obs.NewRecorder("driver", 0), Reg: reg, Log: obs.L("chaos")},
+		log:     obs.L("chaos"),
 	}
 	d.net.SetSeed(cfg.Seed)
 	defer d.stopAll()
@@ -236,6 +267,8 @@ func Replay(cfg Config, sched *Schedule) (*Result, error) {
 	}
 
 	for _, ev := range sched.Events {
+		d.log.Debugf("apply: %s", ev)
+		d.obs.Record(obs.Event{Comp: "chaos", Kind: "fault", Detail: ev.String()})
 		d.apply(ev)
 		time.Sleep(ev.Settle)
 	}
@@ -257,7 +290,54 @@ func Replay(cfg Config, sched *Schedule) (*Result, error) {
 		c.mu.Unlock()
 		res.Exps[c.name] = c.counter.Snapshot()
 	}
+	res.Metrics = d.reg.Snapshot()
+	if !res.Passed() {
+		d.log.Errorf("seed=%d: %d invariant violation(s); dumping causal trace",
+			cfg.Seed, len(res.Violations))
+		res.CausalTrace = d.causalTrace()
+	}
 	return res, nil
+}
+
+// causalTrace assembles the post-mortem dump: one summary line per node
+// naming its last-known view id, KGA state, and last flush round, then the
+// merged time-ordered causal trace of every node's recorder — daemons
+// (including crashed ones), clients (including departed ones), and the
+// driver's own schedule-event ring.
+func (d *driver) causalTrace() []string {
+	var out []string
+	var traces [][]obs.Event
+	for _, name := range d.aliveDaemons() {
+		dm := d.daemons[name]
+		v := dm.CurrentView()
+		out = append(out, fmt.Sprintf("node %s: daemon view=%s members=%v", name, v.ID, v.Members))
+		traces = append(traces, dm.Obs().Rec.Events())
+	}
+	for _, sc := range d.dead {
+		out = append(out, fmt.Sprintf("node %s: daemon crashed", sc.Node))
+		traces = append(traces, sc.Rec.Events())
+	}
+	for _, c := range d.allClients() {
+		evs := c.obs.Rec.Events()
+		view, kga, flush := "none", "idle", "none"
+		for _, e := range evs {
+			switch {
+			case e.Comp == "flush" && e.Kind == "vs-view-install":
+				view, flush = e.View, e.Detail
+			case e.Kind == "kga-state":
+				kga = e.Detail
+			}
+		}
+		out = append(out, fmt.Sprintf("node %s: view=%s kga-state=%q last-flush=%q",
+			c.member, view, kga, flush))
+		traces = append(traces, evs)
+	}
+	traces = append(traces, d.obs.Rec.Events())
+	out = append(out, "-- merged causal trace --")
+	for _, e := range obs.Merge(traces...) {
+		out = append(out, e.String())
+	}
+	return out
 }
 
 func (d *driver) startDaemon(name string) error {
@@ -320,7 +400,11 @@ func (d *driver) apply(ev Event) {
 			name:    ev.Client,
 			counter: dh.NewCounter(),
 		}
-		c.conn = core.New(ep, core.WithCounter(c.counter))
+		// Clients share the run-wide registry (histograms aggregate
+		// cluster-wide) but keep private trace rings for the dump.
+		member := ev.Client + "#" + ev.Daemon
+		c.obs = &obs.Scope{Node: member, Rec: obs.NewRecorder(member, 0), Reg: d.reg, Log: obs.L("core")}
+		c.conn = core.New(ep, core.WithCounter(c.counter), core.WithObs(c.obs))
 		c.member = c.conn.Name()
 		d.clients[ev.Client] = c
 		go c.record()
@@ -340,6 +424,7 @@ func (d *driver) apply(ev Event) {
 		// are lost), then reclaim the daemon and its clients.
 		d.net.Crash(ev.Daemon)
 		if dm := d.daemons[ev.Daemon]; dm != nil {
+			d.dead = append(d.dead, dm.Obs())
 			dm.Stop()
 			delete(d.daemons, ev.Daemon)
 		}

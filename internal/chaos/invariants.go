@@ -62,6 +62,9 @@ func checkInvariants(d *driver, res *Result, converged bool) {
 	record("I3", "key-freshness", checkKeyFreshness(d))
 	record("I4", "vs-safety", checkVSSafety(d))
 	record("I5", "exp-accounting", checkExpAccounting(d))
+	if d.cfg.extraInvariant != nil {
+		record("I6", "synthetic", d.cfg.extraInvariant(d))
+	}
 }
 
 // checkViewAgreement (I1): the surviving clients' secured membership is

@@ -103,6 +103,10 @@ type Member struct {
 
 	st   state
 	pend *pending
+
+	// trace, when set (kga.TraceSetter), receives state-machine
+	// transitions for the observability layer.
+	trace func(kind, detail string)
 }
 
 type pending struct {
@@ -178,7 +182,7 @@ func (m *Member) InProgress() bool { return m.st != stIdle }
 
 // Reset aborts any in-progress agreement (cascading-event handling).
 func (m *Member) Reset() {
-	m.st = stIdle
+	m.setState(stIdle)
 	m.pend = nil
 }
 
@@ -203,6 +207,9 @@ func (m *Member) nextEpoch() uint64 {
 func (m *Member) HandleEvent(ev kga.Event) (kga.Result, error) {
 	if m.st != stIdle {
 		return kga.Result{}, fmt.Errorf("%w: event %v during in-progress round", ErrBadState, ev.Type)
+	}
+	if m.trace != nil {
+		m.trace("op", fmt.Sprintf("%v members=%v joined=%v left=%v", ev.Type, ev.Members, ev.Joined, ev.Left))
 	}
 	switch ev.Type {
 	case kga.EvFound:
@@ -265,7 +272,7 @@ func (m *Member) evAdd(ev kga.Event) (kga.Result, error) {
 			members: slices.Clone(ev.Members),
 			joined:  slices.Clone(ev.Joined),
 		}
-		m.st = stAwaitHello
+		m.setState(stAwaitHello)
 		return kga.Result{}, nil
 	}
 
@@ -278,12 +285,12 @@ func (m *Member) evAdd(ev kga.Event) (kga.Result, error) {
 		joined:      slices.Clone(ev.Joined),
 	}
 	if m.name != controller {
-		m.st = stAwaitKeyDist
+		m.setState(stAwaitKeyDist)
 		return kga.Result{}, nil
 	}
 
 	// Controller: round 1 with every added member.
-	m.st = stCtrlCollect
+	m.setState(stCtrlCollect)
 	m.pend.needResp = make(map[string]bool, len(ev.Joined))
 	m.pend.newE = make(map[string]*big.Int)
 	m.pend.lt = make(map[string]*big.Int)
@@ -345,9 +352,9 @@ func (m *Member) evLeave(ev kga.Event) (kga.Result, error) {
 	if m.name != controller {
 		if controllerChanged {
 			// The new controller must re-handshake with us.
-			m.st = stAwaitHello
+			m.setState(stAwaitHello)
 		} else {
-			m.st = stAwaitKeyDist
+			m.setState(stAwaitKeyDist)
 		}
 		return kga.Result{}, nil
 	}
@@ -374,7 +381,7 @@ func (m *Member) evLeave(ev kga.Event) (kga.Result, error) {
 	m.pend.needResp = make(map[string]bool, len(ev.Members)-1)
 	m.pend.newE = make(map[string]*big.Int)
 	m.pend.lt = make(map[string]*big.Int)
-	m.st = stCtrlCollect
+	m.setState(stCtrlCollect)
 	var res kga.Result
 	for _, name := range ev.Members {
 		if name == m.name {
@@ -407,7 +414,7 @@ func (m *Member) evRefresh(ev kga.Event) (kga.Result, error) {
 		refresh:     true,
 	}
 	if m.name != ev.Members[0] {
-		m.st = stAwaitKeyDist
+		m.setState(stAwaitKeyDist)
 		return kga.Result{}, nil
 	}
 	return m.distribute()
@@ -468,7 +475,7 @@ func (m *Member) distribute() (kga.Result, error) {
 	m.members = slices.Clone(members)
 	m.e = nil
 	m.key = &kga.GroupKey{Secret: secret, Epoch: epoch, Members: slices.Clone(members)}
-	m.st = stIdle
+	m.setState(stIdle)
 	m.pend = nil
 
 	var res kga.Result

@@ -94,7 +94,7 @@ func (m *Member) onCtrlHello(msg kga.Message) (kga.Result, error) {
 	m.pend.rMe = rMe
 	m.pend.eNew = eNew
 	m.pend.targetEpoch = body.TargetEpoch
-	m.st = stAwaitKeyDist
+	m.setState(stAwaitKeyDist)
 
 	resp := respBody{
 		Blinded:     blinded,
@@ -214,7 +214,7 @@ func (m *Member) onKeyDist(msg kga.Message) (kga.Result, error) {
 	m.r1 = nil
 	m.eByMember = nil
 	m.key = &kga.GroupKey{Secret: secret, Epoch: body.TargetEpoch, Members: slices.Clone(body.Members)}
-	m.st = stIdle
+	m.setState(stIdle)
 	m.pend = nil
 	return kga.Result{Key: m.key}, nil
 }

@@ -1,0 +1,30 @@
+package ckd
+
+// String names a protocol state for traces.
+func (s state) String() string {
+	switch s {
+	case stIdle:
+		return "idle"
+	case stCtrlCollect:
+		return "ctrl-collect"
+	case stAwaitHello:
+		return "await-hello"
+	case stAwaitKeyDist:
+		return "await-key-dist"
+	default:
+		return "state(?)"
+	}
+}
+
+// SetTrace implements kga.TraceSetter: fn is invoked on every state-machine
+// transition with kind "state" and "old -> new" detail.
+func (m *Member) SetTrace(fn func(kind, detail string)) { m.trace = fn }
+
+// setState transitions the state machine, reporting the edge to the
+// attached tracer.
+func (m *Member) setState(s state) {
+	if m.trace != nil && s != m.st {
+		m.trace("state", m.st.String()+" -> "+s.String())
+	}
+	m.st = s
+}

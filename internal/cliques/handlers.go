@@ -299,7 +299,7 @@ func (m *Member) onMergeChain(msg kga.Message) (kga.Result, error) {
 		if err != nil {
 			return kga.Result{}, err
 		}
-		m.st = stAwaitMergeBcast
+		m.setState(stAwaitMergeBcast)
 		var res kga.Result
 		res.Msgs = append(res.Msgs, kga.Message{Proto: ProtoName, Type: MsgMergeChain, From: m.name, To: next, Body: enc})
 		return res, nil
@@ -309,7 +309,7 @@ func (m *Member) onMergeChain(msg kga.Message) (kga.Result, error) {
 	// without adding our share, then collect factored-out responses.
 	m.pend.u = body.U
 	m.pend.factors = make(map[string]*big.Int)
-	m.st = stCollectFactors
+	m.setState(stCollectFactors)
 
 	req := mergeFactorReqBody{
 		Members:     body.Members,
@@ -389,7 +389,7 @@ func (m *Member) onMergeFactorReq(msg kga.Message) (kga.Result, error) {
 	w := m.g.Exp(body.U, inv, m.counter, dh.OpShareRemove)
 
 	m.pend.targetEpoch = body.TargetEpoch
-	m.st = stAwaitMergeBcast
+	m.setState(stAwaitMergeBcast)
 
 	resp := mergeFactorRespBody{
 		W:           w,

@@ -62,6 +62,10 @@ type Member struct {
 
 	st   state
 	pend *pending
+
+	// trace, when set (kga.TraceSetter), receives state-machine
+	// transitions for the observability layer.
+	trace func(kind, detail string)
 }
 
 type pending struct {
@@ -164,7 +168,7 @@ func (m *Member) InProgress() bool { return m.st != stIdle }
 // committed group context is untouched. The secure layer calls this when a
 // cascading membership event interrupts an agreement (Section 5.4).
 func (m *Member) Reset() {
-	m.st = stIdle
+	m.setState(stIdle)
 	m.pend = nil
 }
 
@@ -193,6 +197,9 @@ func (m *Member) nextEpoch() uint64 {
 func (m *Member) HandleEvent(ev kga.Event) (kga.Result, error) {
 	if m.st != stIdle {
 		return kga.Result{}, fmt.Errorf("%w: event %v during in-progress agreement", ErrBadState, ev.Type)
+	}
+	if m.trace != nil {
+		m.trace("op", fmt.Sprintf("%v members=%v joined=%v left=%v", ev.Type, ev.Members, ev.Joined, ev.Left))
 	}
 	switch ev.Type {
 	case kga.EvFound:
@@ -255,7 +262,7 @@ func (m *Member) evJoin(ev kga.Event) (kga.Result, error) {
 			joined:  slices.Clone(ev.Joined),
 			joiner:  joiner,
 		}
-		m.st = stAwaitSeed
+		m.setState(stAwaitSeed)
 		return kga.Result{}, nil
 	}
 
@@ -268,7 +275,7 @@ func (m *Member) evJoin(ev kga.Event) (kga.Result, error) {
 		joined:      slices.Clone(ev.Joined),
 		joiner:      joiner,
 	}
-	m.st = stAwaitJoinBcast
+	m.setState(stAwaitJoinBcast)
 
 	if m.name != old[len(old)-1] {
 		// Not the controller: just wait for the joiner's broadcast.
@@ -361,7 +368,7 @@ func (m *Member) startRekey(survivors, left []string, refresh bool) (kga.Result,
 		refresh:     refresh,
 	}
 	if m.name != controller {
-		m.st = stAwaitLeaveBcast
+		m.setState(stAwaitLeaveBcast)
 		return kga.Result{}, nil
 	}
 
@@ -454,7 +461,7 @@ func (m *Member) evMerge(ev kga.Event) (kga.Result, error) {
 			joined:  slices.Clone(ev.Joined),
 			merged:  slices.Clone(ev.Joined),
 		}
-		m.st = stAwaitChain
+		m.setState(stAwaitChain)
 		return kga.Result{}, nil
 	}
 
@@ -467,7 +474,7 @@ func (m *Member) evMerge(ev kga.Event) (kga.Result, error) {
 		joined:      slices.Clone(ev.Joined),
 		merged:      slices.Clone(ev.Joined),
 	}
-	m.st = stAwaitFactorReq
+	m.setState(stAwaitFactorReq)
 
 	if m.name != old[len(old)-1] {
 		return kga.Result{}, nil
@@ -560,7 +567,7 @@ func (m *Member) commit(members []string, share *big.Int, partials map[string]*b
 	m.key = &kga.GroupKey{Secret: secret, Epoch: epoch, Members: slices.Clone(members)}
 	m.prevController = broadcaster
 	m.ownEntryMAC = ownMAC
-	m.st = stIdle
+	m.setState(stIdle)
 	m.pend = nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dh"
 	"repro/internal/flush"
 	"repro/internal/kga"
+	"repro/internal/obs"
 	"repro/internal/spread"
 )
 
@@ -29,6 +30,8 @@ type Conn struct {
 	dhGroup     *dh.Group
 	counter     *dh.Counter
 	autoRefresh time.Duration
+	obs         *obs.Scope
+	log         *obs.Logger
 
 	reqs   chan func()
 	events chan Event
@@ -60,11 +63,18 @@ func WithAutoRefresh(interval time.Duration) Option {
 	return func(c *Conn) { c.autoRefresh = interval }
 }
 
+// WithObs attaches an observability scope: the flush and secure layers
+// record their causal trace events on its recorder and their latency
+// histograms in its registry. Without this option the connection creates a
+// private scope, reachable via Obs.
+func WithObs(sc *obs.Scope) Option {
+	return func(c *Conn) { c.obs = sc }
+}
+
 // New wraps a spread client (in-process or remote) in the secure group
 // layer and starts its event loop. The caller must consume Events.
 func New(client spread.Endpoint, opts ...Option) *Conn {
 	c := &Conn{
-		f:       flush.Wrap(client),
 		dhGroup: dh.Group512,
 		reqs:    make(chan func(), 256),
 		events:  make(chan Event, 8192),
@@ -74,9 +84,21 @@ func New(client spread.Endpoint, opts ...Option) *Conn {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.obs == nil {
+		c.obs = obs.NewScope(client.Name(), "core")
+	}
+	c.log = obs.L("core")
+	if c.counter != nil {
+		c.counter.MirrorTo(c.obs.Reg)
+	}
+	c.f = flush.WrapScope(client, c.obs)
 	go c.run()
 	return c
 }
+
+// Obs returns the connection's observability scope: its causal trace
+// recorder and metrics registry (rekey latency, flush rounds, exp counts).
+func (c *Conn) Obs() *obs.Scope { return c.obs }
 
 // Name returns the member name ("user#daemon").
 func (c *Conn) Name() string { return c.f.Name() }
@@ -132,6 +154,14 @@ func (c *Conn) Join(group, protoName, suiteName string) error {
 		if err != nil {
 			return
 		}
+		// Protocol engines that support it report their state-machine
+		// transitions into the causal trace.
+		if ts, ok := proto.(kga.TraceSetter); ok {
+			sc, grp, comp := c.obs, group, protoName
+			ts.SetTrace(func(kind, detail string) {
+				sc.Record(obs.Event{Comp: comp, Kind: "kga-" + kind, Group: grp, Detail: detail})
+			})
+		}
 		g.proto = proto
 		c.groups[group] = g
 	})
@@ -185,6 +215,14 @@ func (c *Conn) seal(group string, data []byte) ([]byte, uint64, error) {
 	frame, err := g.suite.Seal(data)
 	if err != nil {
 		return nil, 0, err
+	}
+	// The first encrypted send under a fresh key closes the causal chain:
+	// view -> flush -> key agreement -> key install -> first send.
+	if g.firstSendEpoch != g.key.Epoch {
+		g.firstSendEpoch = g.key.Epoch
+		c.obs.Record(obs.Event{Comp: "core", Kind: "first-send",
+			Group: group, KeyEpoch: g.key.Epoch,
+			Detail: fmt.Sprintf("bytes=%d", len(data))})
 	}
 	return frame, g.key.Epoch, nil
 }
@@ -314,6 +352,7 @@ func (c *Conn) emit(ev Event) {
 }
 
 func (c *Conn) warn(group string, err error) {
+	c.log.Warnf("%s: %s: %v", c.Name(), group, err)
 	select {
 	case c.events <- Warning{Group: group, Err: err}:
 	default:

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/crypt"
 	"repro/internal/kga"
+	"repro/internal/obs"
 	"repro/internal/spread"
 )
 
@@ -64,6 +65,15 @@ type groupCtx struct {
 	// pendingRefreshFrom remembers a refresh-start marker that arrived
 	// while an operation was in flight.
 	pendingRefreshFrom string
+
+	// Observability: rekeyStart stamps when the current rekey began (view
+	// arrival or refresh start) and rekeyClass labels its membership-event
+	// type for the latency histogram ("join", "cascade", "refresh", ...).
+	// firstSendEpoch remembers the newest epoch an application frame was
+	// sealed under, closing the causal chain with a first-send event.
+	rekeyStart     time.Time
+	rekeyClass     string
+	firstSendEpoch uint64
 }
 
 type deferredMsg struct {
@@ -98,6 +108,8 @@ func (g *groupCtx) onView(v spread.ViewEvent) {
 	g.pendingRefreshFrom = ""
 	g.refreshWanted = false
 	g.pendingData = make(map[uint64][]pendingFrame)
+	g.rekeyStart = time.Now()
+	g.rekeyClass = ""
 
 	ann := &announceBody{
 		Name:  g.conn.Name(),
@@ -120,6 +132,9 @@ func (g *groupCtx) onView(v spread.ViewEvent) {
 	if err := g.conn.f.Multicast(spread.Agreed, g.name, enc); err != nil {
 		g.conn.warn(g.name, fmt.Errorf("announce: %w", err))
 	}
+	g.conn.obs.Record(obs.Event{Comp: "core", Kind: "announce",
+		Group: g.name, View: fmt.Sprintf("%v", v.ID), KeyEpoch: ann.Epoch,
+		Detail: fmt.Sprintf("reason=%v members=%v", v.Reason, v.MemberNames())})
 }
 
 // onEnvelope routes a secure-layer message.
@@ -251,6 +266,27 @@ func (g *groupCtx) incrementalPlan(members, base, joined []string) ([]kga.Event,
 func (g *groupCtx) startOps(ops []kga.Event, fullRekey bool) {
 	me := g.conn.Name()
 	g.fullRekey = fullRekey
+
+	// Classify the rekey for the latency histogram: a cascade fallback
+	// overrides the view reason (it is the expensive path the paper's
+	// integration problem is about).
+	switch {
+	case fullRekey:
+		g.rekeyClass = "cascade"
+	case g.view != nil:
+		g.rekeyClass = g.view.Reason.String()
+	}
+	opTypes := make([]string, len(ops))
+	for i, op := range ops {
+		opTypes[i] = op.Type.String()
+	}
+	viewStr := ""
+	if g.view != nil {
+		viewStr = fmt.Sprintf("%v", g.view.ID)
+	}
+	g.conn.obs.Record(obs.Event{Comp: "core", Kind: "plan",
+		Group: g.name, View: viewStr,
+		Detail: fmt.Sprintf("class=%s ops=%v fullRekey=%v", g.rekeyClass, opTypes, fullRekey)})
 
 	// Keep only the operations this member participates in.
 	var mine []kga.Event
@@ -408,6 +444,26 @@ func (g *groupCtx) onKeyEstablished(k *kga.GroupKey) {
 	g.phase = phaseSecured
 	g.keyBorn = time.Now()
 
+	class := g.rekeyClass
+	if class == "" {
+		class = "refresh"
+	}
+	viewStr := ""
+	if g.view != nil {
+		viewStr = fmt.Sprintf("%v", g.view.ID)
+	}
+	if !g.rekeyStart.IsZero() && g.conn.obs != nil && g.conn.obs.Reg != nil {
+		d := time.Since(g.rekeyStart)
+		g.conn.obs.Reg.Observe("rekey_latency", d)
+		g.conn.obs.Reg.Observe(obs.LabelName("rekey_latency", class), d)
+	}
+	g.conn.obs.Record(obs.Event{Comp: "core", Kind: "key-install",
+		Group: g.name, View: viewStr, KeyEpoch: k.Epoch,
+		Detail: fmt.Sprintf("class=%s members=%v controller=%s fullRekey=%v",
+			class, g.proto.Members(), g.proto.Controller(), g.fullRekey)})
+	g.conn.log.Debugf("%s: %s keyed at epoch %d (class=%s controller=%s)",
+		g.conn.Name(), g.name, k.Epoch, class, g.proto.Controller())
+
 	reason := spread.ReasonInitial
 	if g.view != nil {
 		reason = g.view.Reason
@@ -490,6 +546,10 @@ func (g *groupCtx) maybeStartRefresh() {
 		g.conn.warn(g.name, fmt.Errorf("refresh start: %w", err))
 		return
 	}
+	g.rekeyStart = time.Now()
+	g.rekeyClass = "refresh"
+	g.conn.obs.Record(obs.Event{Comp: "core", Kind: "refresh-start",
+		Group: g.name, KeyEpoch: g.key.Epoch, Detail: "controller"})
 	res, err := g.proto.HandleEvent(kga.Event{Type: kga.EvRefresh, Members: g.proto.Members()})
 	if err != nil {
 		g.conn.warn(g.name, fmt.Errorf("refresh: %w", err))
@@ -519,6 +579,10 @@ func (g *groupCtx) onRefreshStart(from string) {
 		g.conn.warn(g.name, fmt.Errorf("refresh start from non-controller %s", from))
 		return
 	}
+	g.rekeyStart = time.Now()
+	g.rekeyClass = "refresh"
+	g.conn.obs.Record(obs.Event{Comp: "core", Kind: "refresh-start",
+		Group: g.name, KeyEpoch: g.key.Epoch, Detail: "from=" + from})
 	res, err := g.proto.HandleEvent(kga.Event{Type: kga.EvRefresh, Members: g.proto.Members()})
 	if err != nil {
 		g.conn.warn(g.name, fmt.Errorf("refresh: %w", err))

@@ -173,6 +173,7 @@ func (s *cbcSuite) Seal(plaintext []byte) ([]byte, error) {
 		padded[i] = byte(padN)
 	}
 	cipher.NewCBCEncrypter(s.block, iv).CryptBlocks(padded, padded)
+	countSeal(len(plaintext))
 	return s.mac.appendTag(frame), nil
 }
 
@@ -183,6 +184,7 @@ func (s *cbcSuite) Open(frame []byte) ([]byte, error) {
 	}
 	body, tag := frame[:len(frame)-macSize], frame[len(frame)-macSize:]
 	if !s.mac.verify(body, tag) {
+		openFails.Inc()
 		return nil, ErrAuth
 	}
 	ct := body[bs:]
@@ -191,6 +193,7 @@ func (s *cbcSuite) Open(frame []byte) ([]byte, error) {
 	}
 	pt := make([]byte, len(ct))
 	cipher.NewCBCDecrypter(s.block, body[:bs]).CryptBlocks(pt, ct)
+	countOpen(len(frame))
 	return unpad(pt, bs)
 }
 
@@ -230,6 +233,7 @@ func (s *ctrSuite) Seal(plaintext []byte) ([]byte, error) {
 		return nil, fmt.Errorf("draw iv: %w", err)
 	}
 	cipher.NewCTR(s.block, iv).XORKeyStream(frame[bs:bodyLen], plaintext)
+	countSeal(len(plaintext))
 	return s.mac.appendTag(frame), nil
 }
 
@@ -240,11 +244,13 @@ func (s *ctrSuite) Open(frame []byte) ([]byte, error) {
 	}
 	body, tag := frame[:len(frame)-macSize], frame[len(frame)-macSize:]
 	if !s.mac.verify(body, tag) {
+		openFails.Inc()
 		return nil, ErrAuth
 	}
 	ct := body[bs:]
 	pt := make([]byte, len(ct))
 	cipher.NewCTR(s.block, body[:bs]).XORKeyStream(pt, ct)
+	countOpen(len(frame))
 	return pt, nil
 }
 
@@ -269,6 +275,7 @@ func (s *nullSuite) Overhead() int { return macSize }
 func (s *nullSuite) Seal(plaintext []byte) ([]byte, error) {
 	frame := make([]byte, 0, len(plaintext)+macSize)
 	frame = append(frame, plaintext...)
+	countSeal(len(plaintext))
 	return s.mac.appendTag(frame), nil
 }
 
@@ -278,10 +285,12 @@ func (s *nullSuite) Open(frame []byte) ([]byte, error) {
 	}
 	body, tag := frame[:len(frame)-macSize], frame[len(frame)-macSize:]
 	if !s.mac.verify(body, tag) {
+		openFails.Inc()
 		return nil, ErrAuth
 	}
 	out := make([]byte, len(body))
 	copy(out, body)
+	countOpen(len(frame))
 	return out, nil
 }
 

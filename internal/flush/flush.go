@@ -25,20 +25,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/spread"
 )
-
-// debugFlush enables stderr tracing of the flush protocol (FLUSH_DEBUG=1).
-var debugFlush = os.Getenv("FLUSH_DEBUG") != ""
-
-func dbg(format string, args ...any) {
-	if debugFlush {
-		fmt.Fprintf(os.Stderr, "FLUSH "+format+"\n", args...)
-	}
-}
 
 // Errors returned by the flush layer.
 var (
@@ -117,6 +109,8 @@ type Conn struct {
 	c      spread.Endpoint
 	events chan Event
 	done   chan struct{}
+	obs    *obs.Scope
+	log    *obs.Logger
 
 	mu     sync.Mutex
 	groups map[string]*groupState
@@ -133,15 +127,25 @@ type groupState struct {
 	// buffered holds messages tagged with the pending view, sent by
 	// members that installed it before us.
 	buffered []Data
+	// flushStart stamps when the pending change was announced, so the
+	// flush-round duration histogram measures announce -> VS install.
+	flushStart time.Time
 }
 
 // Wrap builds a flush connection over a spread client (in-process or
 // remote) and starts its event pump. The caller must consume Events.
-func Wrap(c spread.Endpoint) *Conn {
+func Wrap(c spread.Endpoint) *Conn { return WrapScope(c, nil) }
+
+// WrapScope is Wrap with an observability scope: flush-round durations and
+// causal trace events are recorded there. A nil scope disables recording
+// but not logging.
+func WrapScope(c spread.Endpoint, sc *obs.Scope) *Conn {
 	f := &Conn{
 		c:      c,
 		events: make(chan Event, 4096),
 		done:   make(chan struct{}),
+		obs:    sc,
+		log:    obs.L("flush"),
 		groups: make(map[string]*groupState),
 	}
 	go f.pump()
@@ -291,9 +295,13 @@ func (f *Conn) onView(v spread.ViewEvent) {
 	g.okSent = false
 	g.oks = make(map[string]bool)
 	g.buffered = nil
+	g.flushStart = time.Now()
 	f.mu.Unlock()
 
-	dbg("%s onView grp=%s id=%v members=%v reason=%v", f.Name(), v.Group, v.ID, v.MemberNames(), v.Reason)
+	f.log.Tracef("%s onView grp=%s id=%v members=%v reason=%v", f.Name(), v.Group, v.ID, v.MemberNames(), v.Reason)
+	f.obs.Record(obs.Event{Comp: "flush", Kind: "flush-request",
+		Group: v.Group, View: fmt.Sprintf("%v", v.ID),
+		Detail: fmt.Sprintf("reason=%v members=%v", v.Reason, v.MemberNames())})
 	f.deliver(FlushRequest{Group: v.Group})
 }
 
@@ -315,11 +323,11 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 	g := f.groups[e.Group]
 	if g == nil || g.pending == nil || g.pending.ID != m.View {
 		f.mu.Unlock()
-		dbg("%s onFlushOK grp=%s from=%s id=%v STALE", f.Name(), e.Group, e.Sender, m.View)
+		f.log.Tracef("%s onFlushOK grp=%s from=%s id=%v STALE", f.Name(), e.Group, e.Sender, m.View)
 		return // stale flush-ok from an abandoned round
 	}
 	g.oks[e.Sender] = true
-	dbg("%s onFlushOK grp=%s from=%s id=%v oks=%d/%d", f.Name(), e.Group, e.Sender, m.View, len(g.oks), len(g.pending.Members))
+	f.log.Tracef("%s onFlushOK grp=%s from=%s id=%v oks=%d/%d", f.Name(), e.Group, e.Sender, m.View, len(g.oks), len(g.pending.Members))
 	if !f.flushCompleteLocked(g) {
 		f.mu.Unlock()
 		return
@@ -327,6 +335,7 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 	// Install the VS view.
 	installed := *g.pending
 	buffered := g.buffered
+	started := g.flushStart
 	g.current = g.pending
 	g.pending = nil
 	g.okSent = false
@@ -334,7 +343,17 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 	g.buffered = nil
 	f.mu.Unlock()
 
-	dbg("%s install grp=%s id=%v members=%v", f.Name(), e.Group, installed.ID, installed.MemberNames())
+	f.log.Tracef("%s install grp=%s id=%v members=%v", f.Name(), e.Group, installed.ID, installed.MemberNames())
+	var round time.Duration
+	if !started.IsZero() {
+		round = time.Since(started)
+	}
+	if f.obs != nil && f.obs.Reg != nil {
+		f.obs.Reg.Observe("flush_round_duration", round)
+	}
+	f.obs.Record(obs.Event{Comp: "flush", Kind: "vs-view-install",
+		Group: installed.Group, View: fmt.Sprintf("%v", installed.ID),
+		Detail: fmt.Sprintf("reason=%v members=%v round=%v", installed.Reason, installed.MemberNames(), round)})
 	f.deliver(View{Info: installed})
 	for _, d := range buffered {
 		f.deliver(d)

@@ -169,6 +169,16 @@ type Protocol interface {
 	InProgress() bool
 }
 
+// TraceSetter is optionally implemented by protocol engines that can
+// report their internal state-machine transitions to the observability
+// layer. The secure layer attaches the callback after construction (via a
+// type assertion, so the Factory signature stays protocol-agnostic);
+// engines invoke it with a short kind ("state", "op") and free-form
+// detail. Engines must tolerate a nil callback.
+type TraceSetter interface {
+	SetTrace(func(kind, detail string))
+}
+
 // Factory builds a Protocol instance for a member. Counter may be nil.
 type Factory func(member string, g *dh.Group, dir Directory, counter *dh.Counter) (Protocol, error)
 

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Live introspection endpoints (cmd/spreadd -debug-addr):
+//
+//	/metrics          expvar-style JSON: the node's registry plus the
+//	                  process-global Default registry
+//	/trace?group=G    the node's recent causal event ring, optionally
+//	                  filtered to one group; &text=1 renders plain lines
+//	/healthz          liveness probe
+//	/debug/pprof/     the standard runtime profiles
+//
+// All responses are well-formed JSON except /trace?text=1 and the pprof
+// pages.
+
+// metricsPayload is the /metrics response shape.
+type metricsPayload struct {
+	Node    string   `json:"node"`
+	Metrics Snapshot `json:"metrics"`
+	Process Snapshot `json:"process"`
+}
+
+// tracePayload is the /trace response shape.
+type tracePayload struct {
+	Node   string  `json:"node"`
+	Group  string  `json:"group,omitempty"`
+	Total  uint64  `json:"total_recorded"`
+	Events []Event `json:"events"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Mux builds the debug HTTP handler for one node's scope.
+func Mux(sc *Scope) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		p := metricsPayload{Node: sc.Node, Process: Default.Snapshot()}
+		if sc.Reg != nil {
+			p.Metrics = sc.Reg.Snapshot()
+		}
+		writeJSON(w, p)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		group := r.URL.Query().Get("group")
+		events := sc.Rec.GroupEvents(group)
+		if r.URL.Query().Get("text") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, e := range events {
+				_, _ = w.Write([]byte(e.String() + "\n"))
+			}
+			return
+		}
+		writeJSON(w, tracePayload{
+			Node:   sc.Node,
+			Group:  group,
+			Total:  sc.Rec.Total(),
+			Events: events,
+		})
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok", "node": sc.Node})
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log verbosity level. Higher is chattier.
+type Level int32
+
+// Log levels, least to most verbose.
+const (
+	LevelOff Level = iota
+	LevelError
+	LevelWarn
+	LevelInfo
+	LevelDebug
+	LevelTrace
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelOff:
+		return "off"
+	case LevelError:
+		return "error"
+	case LevelWarn:
+		return "warn"
+	case LevelInfo:
+		return "info"
+	case LevelDebug:
+		return "debug"
+	case LevelTrace:
+		return "trace"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel parses a level name; unknown names (and "") report ok=false.
+func ParseLevel(s string) (Level, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off", "none":
+		return LevelOff, true
+	case "error":
+		return LevelError, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "info":
+		return LevelInfo, true
+	case "debug":
+		return LevelDebug, true
+	case "trace":
+		return LevelTrace, true
+	}
+	return LevelOff, false
+}
+
+// The SGC_LOG environment variable controls logging for the whole stack.
+// It is a comma-separated list of "level" (global default) and
+// "component=level" overrides, e.g.:
+//
+//	SGC_LOG=info                  everything at info
+//	SGC_LOG=spread=debug          only the spread daemon, at debug
+//	SGC_LOG=warn,flush=trace      warn everywhere, flush at trace
+//
+// The default with SGC_LOG unset is off: the observability layer records
+// traces and metrics, but prints nothing.
+type logConfig struct {
+	global Level
+	perCmp map[string]Level
+}
+
+func parseLogConfig(spec string) logConfig {
+	cfg := logConfig{global: LevelOff, perCmp: map[string]Level{}}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if comp, lvl, ok := strings.Cut(item, "="); ok {
+			if l, valid := ParseLevel(lvl); valid {
+				cfg.perCmp[strings.TrimSpace(comp)] = l
+			}
+			continue
+		}
+		if l, valid := ParseLevel(item); valid {
+			cfg.global = l
+		}
+	}
+	return cfg
+}
+
+func (c logConfig) levelFor(component string) Level {
+	if l, ok := c.perCmp[component]; ok {
+		return l
+	}
+	return c.global
+}
+
+var (
+	logCfg = parseLogConfig(os.Getenv("SGC_LOG"))
+
+	logMu  sync.Mutex // serializes writes so lines never interleave
+	logOut io.Writer  = os.Stderr
+
+	loggersMu sync.Mutex
+	loggers   = map[string]*Logger{}
+)
+
+// SetLogOutput redirects all loggers' output (tests); returns the previous
+// writer.
+func SetLogOutput(w io.Writer) io.Writer {
+	logMu.Lock()
+	defer logMu.Unlock()
+	prev := logOut
+	logOut = w
+	return prev
+}
+
+// Logger is a levelled, component-tagged logger. The level check is one
+// atomic load, so disabled call sites cost nothing measurable.
+type Logger struct {
+	component string
+	level     atomic.Int32
+}
+
+// L returns the logger for a component, creating it at the SGC_LOG level
+// on first use. Loggers are shared: L("spread") is the same instance
+// everywhere.
+func L(component string) *Logger {
+	loggersMu.Lock()
+	defer loggersMu.Unlock()
+	if lg, ok := loggers[component]; ok {
+		return lg
+	}
+	lg := &Logger{component: component}
+	lg.level.Store(int32(logCfg.levelFor(component)))
+	loggers[component] = lg
+	return lg
+}
+
+// SetLevel overrides the logger's level at run time; returns the previous
+// level.
+func (l *Logger) SetLevel(v Level) Level {
+	return Level(l.level.Swap(int32(v)))
+}
+
+// Enabled reports whether messages at v would be emitted.
+func (l *Logger) Enabled(v Level) bool {
+	return l != nil && Level(l.level.Load()) >= v
+}
+
+func (l *Logger) logf(v Level, format string, args ...any) {
+	if !l.Enabled(v) {
+		return
+	}
+	line := fmt.Sprintf("%s SGC %-6s %-7s %s\n",
+		time.Now().Format("15:04:05.000000"), l.component, v, fmt.Sprintf(format, args...))
+	logMu.Lock()
+	_, _ = io.WriteString(logOut, line)
+	logMu.Unlock()
+}
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Tracef logs at trace level.
+func (l *Logger) Tracef(format string, args ...any) { l.logf(LevelTrace, format, args...) }

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one entry of a node's causal trace. The fields mirror the
+// attribution chain of the paper's experiments: which group, which daemon
+// view, which key epoch a protocol step belongs to.
+type Event struct {
+	// Seq is the per-recorder sequence number (1-based, monotonic); it
+	// breaks ties when merging traces whose clocks collide.
+	Seq uint64 `json:"seq"`
+	// T is the wall-clock stamp applied at Record time.
+	T time.Time `json:"t"`
+	// Node is the recording node ("d01", "c02#d01").
+	Node string `json:"node"`
+	// Comp is the recording layer: "spread", "flush", "core", "cliques",
+	// "ckd", "chaos".
+	Comp string `json:"comp"`
+	// Kind names the step ("view-install", "flush-request", "kga-op",
+	// "key-install", "first-send", ...).
+	Kind string `json:"kind"`
+	// Group is the process group the step concerns, when any.
+	Group string `json:"group,omitempty"`
+	// View is the daemon- or group-view identifier in force.
+	View string `json:"view,omitempty"`
+	// KeyEpoch is the group key epoch the step concerns, when any.
+	KeyEpoch uint64 `json:"key_epoch,omitempty"`
+	// Detail is free-form context (members, operation, state).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders one trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %-10s %-8s %-16s", e.T.Format("15:04:05.000000"), e.Node, e.Comp, e.Kind)
+	if e.Group != "" {
+		s += " group=" + e.Group
+	}
+	if e.View != "" {
+		s += " view=" + e.View
+	}
+	if e.KeyEpoch != 0 {
+		s += fmt.Sprintf(" key_epoch=%d", e.KeyEpoch)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// DefaultRingSize is the per-node trace capacity; old events are
+// overwritten once the ring wraps.
+const DefaultRingSize = 2048
+
+// Recorder is a fixed-capacity ring buffer of trace events, safe for
+// concurrent append. Recording is one mutexed slot write; the buffer never
+// grows, so a wedged reader cannot stall a writer and a long run cannot
+// exhaust memory.
+type Recorder struct {
+	node string
+
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded
+}
+
+// NewRecorder builds a recorder for the named node. capacity <= 0 uses
+// DefaultRingSize.
+func NewRecorder(node string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Recorder{node: node, buf: make([]Event, capacity)}
+}
+
+// Node returns the recorder's node name.
+func (r *Recorder) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// Record stamps ev with the next sequence number (and the current time if
+// unset) and stores it, overwriting the oldest event when full. Nil-safe.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.T.IsZero() {
+		ev.T = time.Now()
+	}
+	if ev.Node == "" {
+		ev.Node = r.node
+	}
+	r.mu.Lock()
+	r.next++
+	ev.Seq = r.next
+	r.buf[(r.next-1)%uint64(len(r.buf))] = ev
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (recorded - retained =
+// overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	cap64 := uint64(len(r.buf))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]Event, 0, n-start)
+	for s := start; s < n; s++ {
+		out = append(out, r.buf[s%cap64])
+	}
+	return out
+}
+
+// GroupEvents returns the retained events concerning the group (events
+// with no group, like daemon view installs, are included: they are causal
+// context for every group), oldest first.
+func (r *Recorder) GroupEvents(group string) []Event {
+	all := r.Events()
+	if group == "" {
+		return all
+	}
+	out := make([]Event, 0, len(all))
+	for _, e := range all {
+		if e.Group == "" || e.Group == group {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Merge interleaves the traces of many nodes into one time-ordered chain.
+// Ties are broken by (node, seq) so the merge is deterministic.
+func Merge(traces ...[]Event) []Event {
+	var out []Event
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].T.Equal(out[j].T) {
+			return out[i].T.Before(out[j].T)
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/spread"
+	"repro/internal/transport"
+
+	_ "repro/internal/cliques"
+)
+
+// TestCausalTraceOrdering runs a scripted join on the real stack and checks
+// the recorded causal chain keeps its order: the flush-layer view install
+// precedes the key install of the same rekey, key agreement state
+// transitions happen in between, and the first encrypted send under the new
+// key comes last.
+func TestCausalTraceOrdering(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	d, err := spread.NewDaemon("d1", []string{"d1"}, nw, spread.Config{Heartbeat: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	const group = "g"
+	join := func(user string) *core.Conn {
+		t.Helper()
+		ep, err := d.Connect(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := core.New(ep)
+		go func() {
+			for range c.Events() {
+			}
+		}()
+		if err := c.Join(group, "cliques", "null"); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	waitSecured := func(c *core.Conn, members int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			m, _, ok := c.GroupState(group)
+			if ok && len(m) == members {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never secured on %d members", c.Name(), members)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	c1 := join("c1")
+	defer c1.Disconnect()
+	waitSecured(c1, 1)
+	// The second join forces a real two-party key agreement on c1's side.
+	c2 := join("c2")
+	defer c2.Disconnect()
+	waitSecured(c1, 2)
+	waitSecured(c2, 2)
+
+	if err := c1.Multicast(group, []byte("hello")); err != nil {
+		t.Fatalf("multicast: %v", err)
+	}
+
+	// Wait for the first-send event to land, then inspect c1's trace.
+	var evs []obs.Event
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs = c1.Obs().Rec.GroupEvents(group)
+		if idxOf(evs, "first-send") >= 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	firstSend := idxOf(evs, "first-send")
+	if firstSend < 0 {
+		t.Fatalf("no first-send event in trace:\n%s", render(evs))
+	}
+	// The key install the send runs under: the last one before first-send.
+	keyInstall := -1
+	for i := 0; i < firstSend; i++ {
+		if evs[i].Kind == "key-install" {
+			keyInstall = i
+		}
+	}
+	if keyInstall < 0 {
+		t.Fatalf("no key-install before first-send:\n%s", render(evs))
+	}
+	if evs[keyInstall].KeyEpoch != evs[firstSend].KeyEpoch {
+		t.Errorf("first-send epoch %d != key-install epoch %d",
+			evs[firstSend].KeyEpoch, evs[keyInstall].KeyEpoch)
+	}
+	// Before that install: the VS view install that triggered the rekey and
+	// a rekey plan for it.
+	flushInstall, plan, kgaState := -1, -1, -1
+	for i := 0; i < keyInstall; i++ {
+		switch evs[i].Kind {
+		case "vs-view-install":
+			flushInstall = i
+		case "plan":
+			plan = i
+		case "kga-state":
+			kgaState = i
+		}
+	}
+	if flushInstall < 0 {
+		t.Errorf("no vs-view-install before key-install:\n%s", render(evs))
+	}
+	if plan < 0 {
+		t.Errorf("no rekey plan before key-install:\n%s", render(evs))
+	}
+	if kgaState < 0 {
+		t.Errorf("no kga-state transition before key-install:\n%s", render(evs))
+	}
+	if flushInstall >= 0 && plan >= 0 && plan < flushInstall {
+		t.Errorf("rekey plan at %d precedes its flush view install at %d:\n%s",
+			plan, flushInstall, render(evs))
+	}
+}
+
+func idxOf(evs []obs.Event, kind string) int {
+	for i, e := range evs {
+		if e.Kind == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+func render(evs []obs.Event) string {
+	s := ""
+	for _, e := range evs {
+		s += e.String() + "\n"
+	}
+	return s
+}

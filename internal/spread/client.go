@@ -69,6 +69,7 @@ func (d *Daemon) Connect(user string) (*Client, error) {
 			return
 		}
 		d.clients[c.name] = c
+		d.counters.clientsGauge.Set(int64(len(d.clients)))
 	})
 	if err != nil {
 		return nil, err
@@ -232,6 +233,7 @@ func (d *Daemon) disconnectClient(c *Client, cause error) {
 		return
 	}
 	delete(d.clients, c.name)
+	d.counters.clientsGauge.Set(int64(len(d.clients)))
 	// Queued ops the client originated are NOT purged: the departure
 	// announcements below are appended to the same queue, so a deferred
 	// join or message still replays before the matching leave.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -73,6 +74,8 @@ type Daemon struct {
 
 	lastEcho time.Time
 
+	obs      *obs.Scope
+	log      *obs.Logger
 	counters statsCounters
 	sec      *daemonSec
 
@@ -145,6 +148,9 @@ func NewDaemon(name string, peers []string, net transport.Network, cfg Config) (
 		clients:      make(map[string]*Client),
 		clientGroups: make(map[string]map[string]bool),
 	}
+	d.obs = obs.NewScope(name, "spread")
+	d.log = d.obs.Log
+	d.counters = newStatsCounters(d.obs.Reg)
 	if !slices.Contains(d.peers, name) {
 		d.peers = append(d.peers, name)
 	}
@@ -239,6 +245,7 @@ func (d *Daemon) run() {
 			if err != nil {
 				continue // corrupt frame: drop
 			}
+			d.counters.countRecv(msg.Kind, len(in.data))
 			d.dispatch(in.from, msg)
 		case fn := <-d.acts:
 			fn()
@@ -298,6 +305,7 @@ func (d *Daemon) tick() {
 	if err == nil {
 		for _, p := range d.peers {
 			if p != d.name {
+				d.counters.countSent(kindHeartbeat, len(data))
 				_ = d.node.Send(p, data)
 			}
 		}
@@ -364,6 +372,7 @@ func (d *Daemon) gcRetained() {
 			delete(d.retained, k)
 		}
 	}
+	d.counters.retainedGauge.Set(int64(len(d.retained)))
 }
 
 func (d *Daemon) onHeartbeat(from string, hb *hbMsg) {
@@ -431,7 +440,7 @@ func (d *Daemon) broadcastData(p payload) {
 		return
 	}
 	d.seq++
-	d.counters.msgsSent++
+	d.counters.msgsSent.Inc()
 	m := &dataMsg{
 		View:   d.view.ID,
 		Sender: d.name,
@@ -451,6 +460,7 @@ func (d *Daemon) broadcastData(p payload) {
 		if eerr == nil {
 			for _, member := range d.view.Members {
 				if member != d.name {
+					d.counters.countSent(out.Kind, len(enc))
 					_ = d.node.Send(member, enc)
 				}
 			}
@@ -521,6 +531,7 @@ func (d *Daemon) echoHeartbeat() {
 	}
 	for _, member := range d.view.Members {
 		if member != d.name {
+			d.counters.countSent(kindHeartbeat, len(data))
 			_ = d.node.Send(member, data)
 		}
 	}
@@ -599,6 +610,8 @@ func (d *Daemon) requestMissing(to, origin string, from, upto uint64) {
 		return
 	}
 	d.lastNack[origin] = now
+	d.counters.nacksSent.Inc()
+	d.log.Debugf("%s: nack to %s for %s[%d,%d]", d.name, to, origin, from, upto)
 	d.sendTo(to, &wireMsg{Kind: kindNack, Nack: &nackMsg{
 		View:   d.view.ID,
 		Sender: origin,
@@ -656,7 +669,8 @@ func (d *Daemon) resendData(to string, m *dataMsg) {
 	if err != nil {
 		return
 	}
-	d.counters.msgsRetransmitted++
+	d.counters.msgsRetransmitted.Inc()
+	d.counters.countSent(out.Kind, len(enc))
 	_ = d.node.Send(to, enc)
 }
 
@@ -707,9 +721,10 @@ func (d *Daemon) tryDeliver() {
 // deliver commits a message: it is retained for view-change recovery and
 // its payload is processed (or buffered during a state exchange).
 func (d *Daemon) deliver(m *dataMsg) {
-	d.counters.msgsDelivered++
+	d.counters.msgsDelivered.Inc()
 	d.deliveredSeq[m.Sender] = m.Seq
 	d.retained[m.key()] = m
+	d.counters.retainedGauge.Set(int64(len(d.retained)))
 	if len(d.stateWait) > 0 && m.P.Kind != payGroupState {
 		d.bufferedMsgs = append(d.bufferedMsgs, m)
 		return

@@ -1,20 +1,12 @@
 package spread
 
 import (
-	"fmt"
-	"os"
 	"slices"
 	"sort"
 )
 
-// debugGroups enables stderr tracing of group mutations (SPREAD_DEBUG=1).
-var debugGroups = os.Getenv("SPREAD_DEBUG") != ""
-
-func dbg(format string, args ...any) {
-	if debugGroups {
-		fmt.Fprintf(os.Stderr, "SPREAD "+format+"\n", args...)
-	}
-}
+// Group mutation tracing moved to the obs levelled logger: set
+// SGC_LOG=spread=trace to see it.
 
 // group is a lightweight process group as known by a daemon. All daemons
 // converge on identical group state because every mutation is delivered in
@@ -114,7 +106,7 @@ func (d *Daemon) applyJoin(m *dataMsg, silent bool) {
 		Daemon: m.Sender,
 		Stamp:  Stamp{Epoch: m.View.Epoch, LTS: g.viewSeq, Name: m.P.Member},
 	})
-	dbg("%s applyJoin grp=%s member=%s stamp={%d %d} silent=%v members=%v",
+	d.log.Tracef("%s applyJoin grp=%s member=%s stamp={%d %d} silent=%v members=%v",
 		d.name, g.name, m.P.Member, m.View.Epoch, g.viewSeq, silent, g.names())
 	if silent {
 		return
@@ -134,7 +126,7 @@ func (d *Daemon) applyLeave(m *dataMsg, silent bool) {
 	leaver := g.members[idx]
 	g.members = slices.Delete(g.members, idx, idx+1)
 	g.viewSeq++
-	dbg("%s applyLeave grp=%s member=%s silent=%v members=%v", d.name, g.name, m.P.Member, silent, g.names())
+	d.log.Tracef("%s applyLeave grp=%s member=%s silent=%v members=%v", d.name, g.name, m.P.Member, silent, g.names())
 
 	// A voluntary leaver gets a final self-leave notification.
 	if leaver.Daemon == d.name {
@@ -321,7 +313,7 @@ func (d *Daemon) finalizeStateExchange() {
 // component-local, which is exactly what the survivors' key agreement
 // needs.
 func (d *Daemon) emitMergedView(g *group, restamped []string) {
-	dbg("%s emitMergedView grp=%s members=%v restamped=%v", d.name, g.name, g.names(), restamped)
+	d.log.Tracef("%s emitMergedView grp=%s members=%v restamped=%v", d.name, g.name, g.names(), restamped)
 	// The bump is unconditional so every daemon keeps identical view
 	// sequence numbers, whether or not it hosts members of the group.
 	g.viewSeq++

@@ -1,9 +1,12 @@
 package spread
 
 import (
+	"fmt"
 	"slices"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The daemon membership protocol is a coordinator-based view agreement:
@@ -78,6 +81,11 @@ func (d *Daemon) startForming() {
 	sort.Strings(reachable)
 	d.form.coord = reachable[0]
 
+	d.log.Debugf("%s: forming round=%d coord=%s reachable=%v", d.name, round, d.form.coord, reachable)
+	d.obs.Record(obs.Event{Comp: "spread", Kind: "membership-forming",
+		View:   d.view.ID.String(),
+		Detail: fmt.Sprintf("round=%d coord=%s reachable=%v", round, d.form.coord, reachable)})
+
 	if d.form.coord == d.name {
 		d.form.isCoord = true
 		d.form.gatherAt = now.Add(d.cfg.GatherWindow)
@@ -91,6 +99,7 @@ func (d *Daemon) sendTo(to string, m *wireMsg) {
 	if err != nil {
 		return
 	}
+	d.counters.countSent(m.Kind, len(data))
 	_ = d.node.Send(to, data)
 }
 
@@ -329,7 +338,7 @@ func (d *Daemon) installView(inst *installMsg) {
 	for _, m := range inst.Recovered[oldView] {
 		mm := m
 		d.acceptData(&mm)
-		d.counters.msgsRecovered++
+		d.counters.msgsRecovered.Inc()
 	}
 	// Sealed recovery entries decrypt under the old view's daemon key,
 	// which is still installed at this point.
@@ -344,7 +353,7 @@ func (d *Daemon) installView(inst *installMsg) {
 				continue
 			}
 			d.acceptData(inner.Data)
-			d.counters.msgsRecovered++
+			d.counters.msgsRecovered.Inc()
 		}
 	}
 	d.flushOldView()
@@ -395,7 +404,11 @@ func (d *Daemon) installView(inst *installMsg) {
 	}
 	d.stateEntries = make(map[string][]stateEntry)
 	d.bufferedMsgs = nil
-	d.counters.viewsInstalled++
+	d.counters.viewsInstalled.Inc()
+	d.log.Infof("%s: installed view %s members=%v", d.name, d.view.ID, d.view.Members)
+	d.obs.Record(obs.Event{Comp: "spread", Kind: "view-install",
+		View:   d.view.ID.String(),
+		Detail: fmt.Sprintf("members=%v prev=%s", d.view.Members, oldView)})
 
 	// Under daemon keying, re-key the daemon group before any data (the
 	// state exchange below is held until the key is in place).

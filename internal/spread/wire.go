@@ -23,7 +23,37 @@ const (
 	// Link-loss recovery: a receiver that detects a per-sender sequence
 	// gap asks the origin to retransmit from its retained buffer.
 	kindNack
+
+	kindMax // one past the last kind; sizes per-kind metric tables
 )
+
+// kindName labels a wire kind for metrics and traces.
+func kindName(k msgKind) string {
+	switch k {
+	case kindHeartbeat:
+		return "heartbeat"
+	case kindData:
+		return "data"
+	case kindPropose:
+		return "propose"
+	case kindSync:
+		return "sync"
+	case kindSyncAck:
+		return "syncack"
+	case kindInstall:
+		return "install"
+	case kindSecAnnounce:
+		return "sec-announce"
+	case kindSecKGA:
+		return "sec-kga"
+	case kindSecData:
+		return "sec-data"
+	case kindNack:
+		return "nack"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
 
 // payloadKind classifies the content of a data message.
 type payloadKind int

@@ -1,0 +1,23 @@
+// Command jsoncheck exits 0 iff stdin is well-formed JSON. It backs
+// scripts/obs-smoke.sh, which must not depend on python or jq being
+// installed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !json.Valid(data) {
+		fmt.Fprintln(os.Stderr, "jsoncheck: invalid JSON")
+		os.Exit(1)
+	}
+}
