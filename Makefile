@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-exp bench-obs obs-smoke
+# The rekey sweep behind BENCH_rekey.json and the bench-diff gate.
+SWEEP_FLAGS ?= -sizes 2..8 -batch 3
 
-## check: the full local gate — vet, build, tests, and the race suite on
-## the packages with concurrency-sensitive fast paths.
-check: vet build test race
+.PHONY: check vet build test race chaos bench-exp bench-obs bench-rekey \
+	bench-report bench-diff obs-smoke
+
+## check: the full local gate — vet, build, tests, the race suite on the
+## packages with concurrency-sensitive fast paths, and the rekey-latency
+## regression gate against the checked-in baseline.
+check: vet build test race bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +40,26 @@ bench-exp:
 bench-obs:
 	$(GO) run ./cmd/sgcbench -chaos -seed 1 -events 33 -obs-out BENCH_obs.json
 
-## obs-smoke: boot a 3-daemon TCP cluster with -debug-addr, curl the
-## introspection endpoints, and assert the payloads are well-formed JSON.
+## bench-rekey: regenerate the checked-in BENCH_rekey.json baseline (live
+## rekey sweep over both protocols, phase-decomposed by the trace analyzer).
+bench-rekey:
+	$(GO) run ./cmd/sgcbench $(SWEEP_FLAGS) -rekey-out BENCH_rekey.json
+
+## bench-report: render the checked-in phase-decomposition baseline.
+bench-report:
+	$(GO) run ./cmd/sgctrace report BENCH_rekey.json
+
+## bench-diff: the regression gate — rerun the sweep and compare it against
+## the checked-in baseline; exits nonzero when a tracked metric regressed
+## (exponentiation counts exactly, timings by ratio with a noise floor).
+bench-diff:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/sgcbench $(SWEEP_FLAGS) -rekey-out $$tmp >/dev/null && \
+	$(GO) run ./cmd/sgctrace diff BENCH_rekey.json $$tmp; \
+	st=$$?; rm -f $$tmp; exit $$st
+
+## obs-smoke: boot a 3-daemon TCP cluster with -debug-addr and embedded
+## secure clients, curl the introspection endpoints, then run the sgctrace
+## collect -> report pipeline and assert a fully-phased join rekey.
 obs-smoke:
 	./scripts/obs-smoke.sh

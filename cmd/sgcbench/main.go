@@ -11,10 +11,16 @@
 //	sgcbench -experiment figure4 -nmax 30  # Figure 4: CPU time per op
 //	sgcbench -experiment all
 //	sgcbench -chaos -seed 4 -events 33     # deterministic fault-schedule run
+//	sgcbench -sizes 2..8                   # rekey phase-decomposition sweep
 //
 // The chaos mode replays a seeded fault schedule against a live cluster and
 // checks the five global invariants (see internal/chaos); it exits nonzero
 // on any violation, and the same seed always reproduces the same schedule.
+//
+// The sizes sweep grows a live secure group across the requested sizes
+// under both key agreement protocols, decomposes every rekey into its
+// phases with the trace analyzer, and writes BENCH_rekey.json — the input
+// of the `sgctrace diff` regression gate (`make bench-diff`).
 package main
 
 import (
@@ -31,7 +37,20 @@ import (
 	_ "repro/internal/cliques"
 	"repro/internal/dh"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
+
+// cryptCounters snapshots the process-global cipher throughput counters
+// (crypt lives on obs.Default, shared by every in-process client).
+func cryptCounters() map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range obs.Default.Snapshot().Counters {
+		if strings.HasPrefix(name, "crypt_") {
+			out[name] = v
+		}
+	}
+	return out
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "table2|table3|table4|figure3|figure4|chaos|all")
@@ -42,21 +61,26 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "shorthand for -experiment chaos")
 	seed := flag.Uint64("seed", 1, "chaos schedule seed")
 	events := flag.Int("events", 33, "chaos schedule length")
-	proto := flag.String("proto", "both", "chaos key agreement protocol: cliques|ckd|both")
+	proto := flag.String("proto", "both", "chaos/sweep key agreement protocol: cliques|ckd|both")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "chaos mode: write the observability report here (empty disables)")
+	sizesSpec := flag.String("sizes", "", `rekey sweep sizes ("2..8" or "2,4,8"); runs the sweep experiment`)
+	rekeyOut := flag.String("rekey-out", "BENCH_rekey.json", "sweep mode: write the phase-decomposition file here (empty disables)")
 	flag.Parse()
 
 	exp := *experiment
 	if *chaosMode {
 		exp = "chaos"
 	}
-	if err := run(exp, *nmax, *step, *batch, *bits, *seed, *events, *proto, *obsOut); err != nil {
+	if *sizesSpec != "" {
+		exp = "sweep"
+	}
+	if err := run(exp, *nmax, *step, *batch, *bits, *seed, *events, *proto, *obsOut, *sizesSpec, *rekeyOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, nmax, step, batch, bits int, seed uint64, events int, proto, obsOut string) error {
+func run(experiment string, nmax, step, batch, bits int, seed uint64, events int, proto, obsOut, sizesSpec, rekeyOut string) error {
 	switch experiment {
 	case "table2":
 		return table2()
@@ -70,6 +94,8 @@ func run(experiment string, nmax, step, batch, bits int, seed uint64, events int
 		return figure4(nmax, step, batch, bits)
 	case "chaos":
 		return chaosExperiment(seed, events, proto, obsOut)
+	case "sweep":
+		return sweepExperiment(sizesSpec, batch, proto, rekeyOut)
 	case "all":
 		for _, fn := range []func() error{table2, table3, table4} {
 			if err := fn(); err != nil {
@@ -102,6 +128,7 @@ func chaosExperiment(seed uint64, events int, proto, obsOut string) error {
 	report := obsReport{Seed: seed, Events: events, Protocols: make(map[string]protoObs)}
 	failed := false
 	for _, p := range protos {
+		cryptBefore := cryptCounters()
 		res, err := chaos.Run(chaos.Config{Seed: seed, Events: events, Proto: p})
 		if err != nil {
 			return fmt.Errorf("chaos %s: %w", p, err)
@@ -119,7 +146,7 @@ func chaosExperiment(seed uint64, events int, proto, obsOut string) error {
 			}
 		}
 		fmt.Printf("final epoch %d, %d warnings\n\n", res.FinalEpoch, res.Warnings)
-		report.Protocols[p] = summarizeObs(res)
+		report.Protocols[p] = summarizeObs(res, cryptBefore)
 	}
 	if obsOut != "" {
 		if err := bench.WriteJSON(obsOut, report); err != nil {
@@ -129,6 +156,45 @@ func chaosExperiment(seed uint64, events int, proto, obsOut string) error {
 	}
 	if failed {
 		return fmt.Errorf("chaos: invariant violations at seed %d (deterministic: rerun with -chaos -seed %d)", seed, seed)
+	}
+	return nil
+}
+
+// sweepExperiment runs the rekey phase-decomposition sweep: for each
+// protocol, grow a live group across the requested sizes (with join/leave
+// churn and a key refresh at each), print the analyzer's per-class/
+// per-size phase tables, and write the BENCH_rekey.json file that
+// `sgctrace diff` gates against a baseline.
+func sweepExperiment(sizesSpec string, batch int, proto, rekeyOut string) error {
+	sizes, err := bench.ParseSizes(sizesSpec)
+	if err != nil {
+		return err
+	}
+	protos := []string{"cliques", "ckd"}
+	switch proto {
+	case "both":
+	case "cliques", "ckd":
+		protos = []string{proto}
+	default:
+		return fmt.Errorf("unknown sweep protocol %q", proto)
+	}
+
+	out := analyze.RekeyBench{Sizes: sizes, Batch: batch, Protocols: make(map[string]*analyze.ProtoBench)}
+	for _, p := range protos {
+		fmt.Printf("== rekey sweep proto=%s sizes=%v batch=%d ==\n", p, sizes, batch)
+		res, err := bench.RekeySweep(p, sizes, batch)
+		if err != nil {
+			return fmt.Errorf("sweep %s: %w", p, err)
+		}
+		analyze.WriteSummaryTable(os.Stdout, res.Summaries)
+		fmt.Println()
+		out.Protocols[p] = &analyze.ProtoBench{Phases: res.Summaries, Exps: res.Exps}
+	}
+	if rekeyOut != "" {
+		if err := bench.WriteJSON(rekeyOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", rekeyOut)
 	}
 	return nil
 }
@@ -148,16 +214,36 @@ type protoObs struct {
 	RekeyLatency map[string]obs.HistogramSnapshot `json:"rekey_latency_by_class"`
 	FlushRound   obs.HistogramSnapshot            `json:"flush_round"`
 	Counters     map[string]int64                 `json:"counters"`
+	// DHExp is the run-wide modular exponentiation count per operation
+	// label, summed over every client (the live counterpart of Tables
+	// 2-4).
+	DHExp map[string]int64 `json:"dh_exp"`
+	// Crypt is this protocol run's share of the process-global cipher
+	// throughput counters (crypt_seal_msgs, crypt_open_bytes, ...).
+	Crypt map[string]int64 `json:"crypt"`
 }
 
 // summarizeObs reshapes a run's metrics snapshot: "rekey_latency{class}"
-// histograms become a class-keyed map ("all" is the unlabelled aggregate).
-func summarizeObs(res *chaos.Result) protoObs {
+// histograms become a class-keyed map ("all" is the unlabelled aggregate),
+// and per-client exponentiation counters aggregate by label. cryptBefore
+// is the process-global counter state before the run, so each protocol is
+// attributed only its own Seal/Open traffic.
+func summarizeObs(res *chaos.Result, cryptBefore map[string]int64) protoObs {
 	out := protoObs{
 		FinalEpoch:   res.FinalEpoch,
 		Passed:       res.Passed(),
 		RekeyLatency: make(map[string]obs.HistogramSnapshot),
 		Counters:     res.Metrics.Counters,
+		DHExp:        make(map[string]int64),
+		Crypt:        make(map[string]int64),
+	}
+	for _, perClient := range res.Exps {
+		for label, n := range perClient {
+			out.DHExp[label] += int64(n)
+		}
+	}
+	for name, v := range cryptCounters() {
+		out.Crypt[name] = v - cryptBefore[name]
 	}
 	for name, h := range res.Metrics.Histograms {
 		switch {

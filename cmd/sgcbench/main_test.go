@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/analyze"
 )
 
 // TestBenchTables smoke-tests the cheap experiments end to end (the
@@ -17,7 +19,7 @@ func TestBenchTables(t *testing.T) {
 	for _, exp := range []string{"table2", "table3", "table4"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 6, 3, 1, 512, 1, 0, "both", ""); err != nil {
+			if err := run(exp, 6, 3, 1, 512, 1, 0, "both", "", "", ""); err != nil {
 				t.Fatalf("%s: %v", exp, err)
 			}
 		})
@@ -32,7 +34,7 @@ func TestBenchChaosMode(t *testing.T) {
 		t.Skip("bench smoke test in -short mode")
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_obs.json")
-	if err := run("chaos", 0, 0, 0, 0, 2, 12, "cliques", out); err != nil {
+	if err := run("chaos", 0, 0, 0, 0, 2, 12, "cliques", out, "", ""); err != nil {
 		t.Fatalf("chaos: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -62,15 +64,66 @@ func TestBenchChaosMode(t *testing.T) {
 	if po.FlushRound.Count == 0 {
 		t.Error("flush-round histogram is empty")
 	}
+	// The report must attribute exponentiations per operation label and
+	// the cipher Seal/Open throughput to this protocol run.
+	if len(po.DHExp) == 0 {
+		t.Error("dh_exp label counters missing from the observability report")
+	}
+	if po.Crypt["crypt_seal_msgs"] == 0 || po.Crypt["crypt_open_msgs"] == 0 {
+		t.Errorf("crypt throughput counters missing or zero: %v", po.Crypt)
+	}
 }
 
 // TestBenchUnknownExperiment checks the error paths: an unknown experiment
 // name and an unknown chaos protocol must be rejected.
 func TestBenchUnknownExperiment(t *testing.T) {
-	if err := run("tableX", 0, 0, 0, 0, 1, 0, "both", ""); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+	if err := run("tableX", 0, 0, 0, 0, 1, 0, "both", "", "", ""); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("unknown experiment error = %v", err)
 	}
-	if err := run("chaos", 0, 0, 0, 0, 1, 12, "telepathy", ""); err == nil || !strings.Contains(err.Error(), "unknown chaos protocol") {
+	if err := run("chaos", 0, 0, 0, 0, 1, 12, "telepathy", "", "", ""); err == nil || !strings.Contains(err.Error(), "unknown chaos protocol") {
 		t.Errorf("unknown chaos protocol error = %v", err)
+	}
+	if err := run("sweep", 0, 0, 1, 0, 1, 0, "both", "", "1..0", ""); err == nil {
+		t.Error("bad size spec accepted")
+	}
+	if err := run("sweep", 0, 0, 1, 0, 1, 0, "telepathy", "", "2..3", ""); err == nil || !strings.Contains(err.Error(), "unknown sweep protocol") {
+		t.Errorf("unknown sweep protocol error = %v", err)
+	}
+}
+
+// TestBenchSweepMode smoke-tests the sizes sweep end to end: the written
+// BENCH_rekey.json must carry per-class/per-size phase summaries and the
+// deterministic exponentiation rows for the requested protocol.
+func TestBenchSweepMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke test in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_rekey.json")
+	if err := run("sweep", 0, 0, 1, 0, 1, 0, "ckd", "", "2..3", out); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("sweep file not written: %v", err)
+	}
+	var b analyze.RekeyBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("sweep file is not JSON: %v", err)
+	}
+	pb := b.Protocols["ckd"]
+	if pb == nil {
+		t.Fatalf("sweep file has no ckd entry: %s", data)
+	}
+	joinSizes := make(map[int]bool)
+	for _, s := range pb.Phases {
+		if s.Class == "join" {
+			joinSizes[s.Size] = true
+		}
+	}
+	if !joinSizes[2] || !joinSizes[3] {
+		t.Errorf("sweep phases missing join sizes 2 and 3: %+v", pb.Phases)
+	}
+	if len(pb.Exps) != 2 {
+		t.Errorf("sweep exp rows = %+v, want 2", pb.Exps)
 	}
 }

@@ -1,0 +1,356 @@
+// Command sgctrace is the offline companion of the live introspection
+// endpoints: it scrapes causal traces and metrics from a running cluster,
+// decomposes every rekey into its phases across nodes, flags anomalies,
+// and gates benchmark files against a baseline.
+//
+// Usage:
+//
+//	sgctrace collect -out bundle.json [-group G] d01=http://host:port ...
+//	sgctrace report [-json] [-group G] [-stall 2s] FILE
+//	sgctrace diff [-ratio 10] [-floor 50] [-count-tol 0] OLD.json NEW.json
+//
+// collect fetches /trace and /metrics from each named debug endpoint
+// (spreadd -debug-addr) into one snapshot bundle; an unreachable node is
+// recorded as unhealthy rather than failing the collection. report accepts
+// a bundle, a raw /trace payload (or bare event array), or a BENCH_rekey.json
+// sweep file, and prints the per-class/per-size phase decomposition, the
+// correlated rekeys, and any anomalies. diff compares two BENCH_rekey.json
+// files and exits nonzero when a tracked metric regressed — deterministic
+// exponentiation counts exactly, timings by a generous ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "diff":
+		var regs []analyze.Regression
+		regs, err = cmdDiff(os.Args[2:], os.Stdout)
+		if err == nil && len(regs) > 0 {
+			os.Exit(1)
+		}
+	case "-h", "-help", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "sgctrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgctrace:", err)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sgctrace collect -out bundle.json [-group G] name=http://addr ...
+  sgctrace report [-json] [-group G] [-stall 2s] FILE
+  sgctrace diff [-ratio 10] [-floor 50] [-count-tol 0] OLD.json NEW.json`)
+}
+
+// ---- collect ----
+
+type target struct {
+	name string
+	addr string
+}
+
+func parseTargets(args []string) ([]target, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("collect: no endpoints; expected name=http://host:port arguments")
+	}
+	out := make([]target, 0, len(args))
+	for _, a := range args {
+		name, addr, ok := strings.Cut(a, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("collect: bad endpoint %q (want name=http://host:port)", a)
+		}
+		out = append(out, target{name: name, addr: strings.TrimRight(addr, "/")})
+	}
+	return out, nil
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	out := fs.String("out", "", "write the bundle here (default stdout)")
+	group := fs.String("group", "", "restrict traces to one process group")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets, err := parseTargets(fs.Args())
+	if err != nil {
+		return err
+	}
+	cl := &http.Client{Timeout: *timeout}
+	b := collect(cl, targets, *group)
+	for _, n := range b.Nodes {
+		if n.Healthy {
+			fmt.Fprintf(os.Stderr, "collected %s: %d events (of %d recorded)\n",
+				n.Node, len(n.Events), n.TotalRecorded)
+		} else {
+			fmt.Fprintf(os.Stderr, "node %s unreachable: %s\n", n.Node, n.Error)
+		}
+	}
+	if b.Healthy() == 0 {
+		return fmt.Errorf("collect: no node answered")
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// collect scrapes every target's /metrics and /trace into one bundle. A
+// node that fails either fetch is kept with Healthy=false and the error —
+// partial clusters (a crashed daemon mid-experiment) must still collect.
+func collect(cl *http.Client, targets []target, group string) *analyze.Bundle {
+	b := &analyze.Bundle{CollectedAt: time.Now(), Group: group}
+	for _, t := range targets {
+		ns := analyze.NodeSnapshot{Node: t.name, Addr: t.addr}
+
+		var mp obs.MetricsPayload
+		if err := fetchJSON(cl, t.addr+"/metrics", &mp); err != nil {
+			ns.Error = err.Error()
+		} else {
+			ns.Metrics, ns.Process = mp.Metrics, mp.Process
+			if mp.Node != "" {
+				ns.Node = mp.Node
+			}
+
+			var tp obs.TracePayload
+			traceURL := t.addr + "/trace"
+			if group != "" {
+				traceURL += "?group=" + group
+			}
+			if err := fetchJSON(cl, traceURL, &tp); err != nil {
+				ns.Error = err.Error()
+			} else {
+				ns.TotalRecorded, ns.Events = tp.Total, tp.Events
+				ns.Healthy = true
+			}
+		}
+		b.Nodes = append(b.Nodes, ns)
+	}
+	return b
+}
+
+func fetchJSON(cl *http.Client, url string, v any) error {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// ---- report ----
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	group := fs.String("group", "", "restrict the analysis to one process group")
+	stall := fs.Duration("stall", analyze.DefaultStallThreshold, "idle time before an open rekey counts as stalled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: want exactly one input file")
+	}
+	return report(os.Stdout, fs.Arg(0), *jsonOut, analyze.Options{Group: *group, StallThreshold: *stall})
+}
+
+func report(w io.Writer, path string, jsonOut bool, opt analyze.Options) error {
+	in, err := loadInput(path)
+	if err != nil {
+		return err
+	}
+	if in.bench != nil {
+		return benchReport(w, in.bench, jsonOut)
+	}
+	if in.bundle != nil && !jsonOut {
+		for _, n := range in.bundle.Nodes {
+			state := "ok"
+			if !n.Healthy {
+				state = "UNREACHABLE: " + n.Error
+			}
+			fmt.Fprintf(w, "node %s (%s): %s\n", n.Node, n.Addr, state)
+		}
+		fmt.Fprintln(w)
+	}
+	rep := analyze.Analyze(in.events, opt)
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	rep.WriteText(w)
+	return nil
+}
+
+func benchReport(w io.Writer, b *analyze.RekeyBench, jsonOut bool) error {
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(b)
+	}
+	fmt.Fprintf(w, "== rekey sweep: sizes %v, batch %d ==\n", b.Sizes, b.Batch)
+	protos := make([]string, 0, len(b.Protocols))
+	for p := range b.Protocols {
+		protos = append(protos, p)
+	}
+	// Two protocols at most; keep "cliques" before "ckd" alphabetical-free.
+	if len(protos) == 2 && protos[0] > protos[1] {
+		protos[0], protos[1] = protos[1], protos[0]
+	}
+	for _, p := range protos {
+		fmt.Fprintf(w, "\n-- %s --\n", p)
+		analyze.WriteSummaryTable(w, b.Protocols[p].Phases)
+		if exps := b.Protocols[p].Exps; len(exps) > 0 {
+			fmt.Fprintln(w, "serial exponentiations:")
+			for _, e := range exps {
+				fmt.Fprintf(w, "  n=%-3d join=%d (ctrl %d, new %d)  leave=%d  ctrl-leave=%d\n",
+					e.N, e.JoinSerial, e.JoinController, e.JoinNewMember,
+					e.LeaveSerial, e.CtrlLeaveSerial)
+			}
+		}
+	}
+	return nil
+}
+
+// input is one decoded report file, whichever shape it had.
+type input struct {
+	events []obs.Event
+	bundle *analyze.Bundle
+	bench  *analyze.RekeyBench
+}
+
+// loadInput reads a report input and detects its shape: a collect bundle,
+// a BENCH_rekey.json sweep, a /trace payload, or a bare event array.
+func loadInput(path string) (*input, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "[") {
+		var evs []obs.Event
+		if err := json.Unmarshal(data, &evs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &input{events: evs}, nil
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case probe["protocols"] != nil:
+		var b analyze.RekeyBench
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &input{bench: &b}, nil
+	case probe["nodes"] != nil:
+		var b analyze.Bundle
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &input{bundle: &b, events: b.MergedEvents()}, nil
+	case probe["events"] != nil:
+		var tp obs.TracePayload
+		if err := json.Unmarshal(data, &tp); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &input{events: tp.Events}, nil
+	}
+	return nil, fmt.Errorf("%s: unrecognized input (want a bundle, trace payload, event array, or BENCH_rekey.json)", path)
+}
+
+// ---- diff ----
+
+func cmdDiff(args []string, w io.Writer) ([]analyze.Regression, error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	ratio := fs.Float64("ratio", analyze.DefaultTimeRatio, "timing regression threshold (new > old*ratio fails)")
+	floor := fs.Float64("floor", analyze.DefaultTimeFloorMs, "ignore timing growth below this many ms (negative disables)")
+	countTol := fs.Int("count-tol", 0, "allowed exponentiation-count growth")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 2 {
+		return nil, fmt.Errorf("diff: want OLD.json NEW.json")
+	}
+	return diffFiles(w, fs.Arg(0), fs.Arg(1), analyze.DiffOptions{
+		TimeRatio: *ratio, TimeFloorMs: *floor, CountTolerance: *countTol,
+	})
+}
+
+func diffFiles(w io.Writer, oldPath, newPath string, opt analyze.DiffOptions) ([]analyze.Regression, error) {
+	oldB, err := loadBench(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newB, err := loadBench(newPath)
+	if err != nil {
+		return nil, err
+	}
+	regs := analyze.DiffBench(oldB, newB, opt)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "ok: no regressions (%s vs %s)\n", newPath, oldPath)
+		return nil, nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(w, r.String())
+	}
+	fmt.Fprintf(w, "%d regression(s) vs %s\n", len(regs), oldPath)
+	return regs, nil
+}
+
+func loadBench(path string) (*analyze.RekeyBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b analyze.RekeyBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Protocols == nil {
+		return nil, fmt.Errorf("%s: not a BENCH_rekey.json sweep file", path)
+	}
+	return &b, nil
+}

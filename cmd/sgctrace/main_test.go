@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// fakeDaemon serves one node's debug endpoints from a real scope with a
+// synthetic fully-phased join rekey in its ring.
+func fakeDaemon(t *testing.T, node string) *httptest.Server {
+	t.Helper()
+	sc := obs.NewScope(node, "test")
+	sc.Reg.Counter("wire_msgs{send}").Add(3)
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	at := func(ms int, comp, kind string, mut func(*obs.Event)) {
+		ev := obs.Event{T: base.Add(time.Duration(ms) * time.Millisecond),
+			Comp: comp, Kind: kind, Group: "chat"}
+		if mut != nil {
+			mut(&ev)
+		}
+		sc.Record(ev)
+	}
+	view := func(v string) func(*obs.Event) {
+		return func(e *obs.Event) { e.View = v }
+	}
+	at(0, "flush", "flush-request", view("v7"))
+	at(10, "flush", "vs-view-install", func(e *obs.Event) {
+		e.View = "v7"
+		e.Detail = "members=[a#d1 b#d1] round=1"
+	})
+	at(14, "core", "plan", func(e *obs.Event) {
+		e.View = "v7"
+		e.Detail = "class=join ops=[join]"
+	})
+	at(20, "cliques", "kga-state", func(e *obs.Event) {
+		e.View = "v7"
+		e.Detail = "round=1 collecting->distributing"
+	})
+	at(34, "core", "key-install", func(e *obs.Event) {
+		e.View = "v7"
+		e.KeyEpoch = 3
+		e.Detail = "class=join members=[a#d1 b#d1] controller=a#d1"
+	})
+	at(40, "core", "first-send", func(e *obs.Event) { e.KeyEpoch = 3 })
+	return httptest.NewServer(obs.Mux(sc))
+}
+
+// TestCollectAgainstFakeDaemons runs collect against two live fake daemons
+// plus one unreachable endpoint: the bundle must carry both healthy nodes'
+// traces and retain the dead node as unhealthy, and the report over the
+// bundle must show the correlated join rekey.
+func TestCollectAgainstFakeDaemons(t *testing.T) {
+	d1 := fakeDaemon(t, "a#d1")
+	defer d1.Close()
+	d2 := fakeDaemon(t, "b#d1")
+	defer d2.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // now refuses connections
+
+	cl := &http.Client{Timeout: 2 * time.Second}
+	b := collect(cl, []target{
+		{name: "d1", addr: d1.URL},
+		{name: "d2", addr: d2.URL},
+		{name: "d3", addr: dead.URL},
+	}, "chat")
+
+	if got := b.Healthy(); got != 2 {
+		t.Fatalf("healthy nodes = %d, want 2", got)
+	}
+	if len(b.Nodes) != 3 {
+		t.Fatalf("bundle has %d nodes, want 3 (unreachable node must be retained)", len(b.Nodes))
+	}
+	deadNode := b.Nodes[2]
+	if deadNode.Healthy || deadNode.Error == "" {
+		t.Fatalf("unreachable node not marked: %+v", deadNode)
+	}
+	// Node names come from the daemon's own payload when it answers.
+	if b.Nodes[0].Node != "a#d1" || b.Nodes[1].Node != "b#d1" {
+		t.Errorf("node names = %q, %q; want payload names", b.Nodes[0].Node, b.Nodes[1].Node)
+	}
+	if b.Nodes[0].Metrics.Counters["wire_msgs{send}"] != 3 {
+		t.Errorf("metrics not collected: %+v", b.Nodes[0].Metrics.Counters)
+	}
+	if len(b.Nodes[0].Events) != 6 {
+		t.Errorf("node events = %d, want 6", len(b.Nodes[0].Events))
+	}
+
+	// Round-trip the bundle through a file and the report path.
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := report(&sb, path, false, analyze.Options{Group: "chat"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"node d3", "UNREACHABLE",
+		"class=join", "size=2", "nodes=2", "fully-phased=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON mode must emit a decodable analyze.Report with the same rekey.
+	sb.Reset()
+	if err := report(&sb, path, true, analyze.Options{Group: "chat"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep analyze.Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("report -json not decodable: %v", err)
+	}
+	if len(rep.Rekeys) != 1 || len(rep.Rekeys[0].Nodes) != 2 {
+		t.Fatalf("JSON report rekeys = %+v", rep.Rekeys)
+	}
+}
+
+// TestCollectAllUnreachable checks the CLI-level failure when nothing
+// answers (a bundle of only unhealthy nodes is useless).
+func TestCollectAllUnreachable(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	cl := &http.Client{Timeout: time.Second}
+	b := collect(cl, []target{{name: "d1", addr: dead.URL}}, "")
+	if b.Healthy() != 0 || len(b.Nodes) != 1 || b.Nodes[0].Error == "" {
+		t.Fatalf("bundle = %+v", b)
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	if _, err := parseTargets(nil); err == nil {
+		t.Error("empty target list accepted")
+	}
+	if _, err := parseTargets([]string{"http://x"}); err == nil {
+		t.Error("nameless target accepted")
+	}
+	ts, err := parseTargets([]string{"d1=http://x:1/", "d2=http://y:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].addr != "http://x:1" || ts[1].name != "d2" {
+		t.Errorf("parsed targets = %+v", ts)
+	}
+}
+
+func benchFixture(totalMs float64, joinSerial int) *analyze.RekeyBench {
+	return &analyze.RekeyBench{
+		Sizes: []int{2, 4},
+		Batch: 3,
+		Protocols: map[string]*analyze.ProtoBench{
+			"cliques": {
+				Phases: []analyze.ClassSummary{{
+					Proto: "cliques", Class: "join", Size: 4, Rekeys: 3, Records: 12,
+					TotalP50Ms: totalMs,
+					Mean: analyze.Phases{FlushMs: totalMs / 4, KGAMs: totalMs / 2,
+						TotalMs: totalMs},
+				}},
+				Exps: []analyze.ExpRow{{N: 4, JoinController: 5, JoinNewMember: 7,
+					JoinSerial: joinSerial, LeaveSerial: 4, CtrlLeaveSerial: 6}},
+			},
+		},
+	}
+}
+
+func writeBench(t *testing.T, name string, b *analyze.RekeyBench) string {
+	t.Helper()
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffRegressionGate pins the gate semantics: identical files pass, an
+// injected order-of-magnitude timing regression or any exponentiation-count
+// growth fails.
+func TestDiffRegressionGate(t *testing.T) {
+	base := writeBench(t, "old.json", benchFixture(20, 12))
+
+	var out strings.Builder
+	regs, err := diffFiles(&out, base, writeBench(t, "same.json", benchFixture(20, 12)), analyze.DiffOptions{})
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("identical files: regs=%v err=%v\n%s", regs, err, out.String())
+	}
+
+	// 20ms -> 900ms trips both the x10 ratio and the 50ms absolute floor.
+	out.Reset()
+	regs, err = diffFiles(&out, base, writeBench(t, "slow.json", benchFixture(900, 12)), analyze.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 || !strings.Contains(out.String(), "REGRESSION rekey/cliques/join/n4/total_p50_ms") {
+		t.Fatalf("timing regression not caught: regs=%v\n%s", regs, out.String())
+	}
+
+	// One extra serial exponentiation fails exactly, even with calm timings.
+	out.Reset()
+	regs, err = diffFiles(&out, base, writeBench(t, "exps.json", benchFixture(20, 13)), analyze.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(out.String(), "exp/cliques/n4/join_serial") {
+		t.Fatalf("count regression not caught: regs=%v\n%s", regs, out.String())
+	}
+
+	// Growth past the ratio but below the absolute floor is jitter on a
+	// tiny baseline (4ms -> 45ms), not a regression.
+	tiny := writeBench(t, "tiny.json", benchFixture(4, 12))
+	out.Reset()
+	regs, err = diffFiles(&out, tiny, writeBench(t, "jitter.json", benchFixture(45, 12)), analyze.DiffOptions{})
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("sub-floor jitter flagged: regs=%v err=%v\n%s", regs, err, out.String())
+	}
+
+	// Files sharing no cells at all must fail the gate, not silently pass.
+	empty := writeBench(t, "empty.json", &analyze.RekeyBench{
+		Protocols: map[string]*analyze.ProtoBench{},
+	})
+	out.Reset()
+	regs, err = diffFiles(&out, base, empty, analyze.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "coverage/comparable_metrics" {
+		t.Fatalf("empty comparison passed: %v", regs)
+	}
+}
+
+// TestReportOnBenchFile checks report's third input shape: a sweep file
+// renders its per-class/per-size tables and exponentiation rows.
+func TestReportOnBenchFile(t *testing.T) {
+	path := writeBench(t, "bench.json", benchFixture(20, 12))
+	var sb strings.Builder
+	if err := report(&sb, path, false, analyze.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"-- cliques --", "join", "serial exponentiations", "n=4", "join=12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -29,6 +29,10 @@ import (
 	"syscall"
 	"time"
 
+	_ "repro/internal/ckd" // register both key agreement modules for -join-proto
+	_ "repro/internal/cliques"
+	"repro/internal/core"
+	"repro/internal/crypt"
 	"repro/internal/obs"
 	"repro/internal/spread"
 	"repro/internal/transport"
@@ -40,15 +44,18 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 20*time.Millisecond, "heartbeat interval")
 	clientListen := flag.String("client-listen", "", "optional host:port to serve remote clients on")
 	debugAddr := flag.String("debug-addr", "", "optional host:port for the introspection endpoints (/metrics, /trace, /debug/pprof)")
+	joinGroup := flag.String("join-group", "", "optional: run an embedded secure client that joins this group (its rekeys land in this daemon's /trace and /metrics)")
+	joinProto := flag.String("join-proto", "cliques", "embedded client key agreement protocol: cliques|ckd")
+	joinDelay := flag.Duration("join-delay", 0, "wait this long after the full daemon view before the embedded client joins (stagger across daemons to get join-classified rekeys)")
 	flag.Parse()
 
-	if err := run(*name, *config, *heartbeat, *clientListen, *debugAddr); err != nil {
+	if err := run(*name, *config, *heartbeat, *clientListen, *debugAddr, *joinGroup, *joinProto, *joinDelay); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(name, config string, heartbeat time.Duration, clientListen, debugAddr string) error {
+func run(name, config string, heartbeat time.Duration, clientListen, debugAddr, joinGroup, joinProto string, joinDelay time.Duration) error {
 	if name == "" || config == "" {
 		return fmt.Errorf("both -name and -config are required")
 	}
@@ -93,6 +100,9 @@ func run(name, config string, heartbeat time.Duration, clientListen, debugAddr s
 		defer srv.Close()
 		log.Printf("daemon %s serving introspection on http://%s/metrics", name, ln.Addr())
 	}
+	if joinGroup != "" {
+		go embeddedClient(d, len(peers), joinGroup, joinProto, joinDelay)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -113,6 +123,47 @@ func run(name, config string, heartbeat time.Duration, clientListen, debugAddr s
 				last = v.ID
 				log.Printf("view %s: members %v", v.ID, v.Members)
 			}
+		}
+	}
+}
+
+// embeddedClient runs an in-process secure session on this daemon: it
+// waits for the full daemon view, sleeps the configured stagger, joins the
+// group, and answers every SecureView with one multicast (so each rekey
+// completes its first-send phase). It shares the daemon's observability
+// scope, so the client's flush/KGA/key-install events are served by the
+// same /trace endpoint sgctrace collects from.
+func embeddedClient(d *spread.Daemon, fullView int, group, proto string, delay time.Duration) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for len(d.CurrentView().Members) < fullView {
+		if time.Now().After(deadline) {
+			log.Printf("embedded client: full %d-daemon view never formed; joining anyway", fullView)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(delay)
+
+	ep, err := d.Connect("app")
+	if err != nil {
+		log.Printf("embedded client: connect: %v", err)
+		return
+	}
+	conn := core.New(ep, core.WithObs(d.Obs()))
+	if err := conn.Join(group, proto, crypt.SuiteBlowfish); err != nil {
+		log.Printf("embedded client: join %s: %v", group, err)
+		return
+	}
+	log.Printf("embedded client %s joining group %q (%s)", conn.Name(), group, proto)
+	for ev := range conn.Events() {
+		switch e := ev.(type) {
+		case core.SecureView:
+			log.Printf("embedded client: secure view epoch=%d members=%v", e.Epoch, e.Members)
+			_ = conn.Multicast(group, []byte("hello from "+conn.Name()))
+		case core.Message:
+			log.Printf("embedded client: message from %s: %s", e.Sender, e.Data)
+		case core.Warning:
+			log.Printf("embedded client: warning: %v", e.Err)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/spread"
 	"repro/internal/transport"
 )
@@ -66,11 +67,11 @@ func TestParseConfigErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 0, "", ""); err == nil {
+	if err := run("", "", 0, "", "", "", "", 0); err == nil {
 		t.Fatal("missing flags accepted")
 	}
 	cfg := writeConfig(t, "other 127.0.0.1:4803\n")
-	if err := run("me", cfg, 0, "", ""); err == nil {
+	if err := run("me", cfg, 0, "", "", "", "", 0); err == nil {
 		t.Fatal("daemon missing from config accepted")
 	}
 }
@@ -152,5 +153,46 @@ func TestDebugEndpoints(t *testing.T) {
 
 	if body := get("/healthz"); !json.Valid(body) {
 		t.Errorf("/healthz is not JSON: %q", body)
+	}
+}
+
+// TestEmbeddedClient runs the -join-group client on two in-memory daemons
+// with staggered delays and checks the daemons' own trace rings end up
+// carrying a fully-phased join rekey — the property the observability
+// smoke script asserts over the real TCP cluster.
+func TestEmbeddedClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test in -short mode")
+	}
+	nw := transport.NewMemNetwork()
+	peers := []string{"d1", "d2"}
+	var daemons []*spread.Daemon
+	for _, name := range peers {
+		d, err := spread.NewDaemon(name, peers, nw, spread.Config{Heartbeat: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Stop()
+		daemons = append(daemons, d)
+	}
+	go embeddedClient(daemons[0], 2, "smoke", "cliques", 0)
+	go embeddedClient(daemons[1], 2, "smoke", "cliques", 300*time.Millisecond)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var traces [][]obs.Event
+		for _, d := range daemons {
+			traces = append(traces, d.Obs().Rec.Events())
+		}
+		rep := analyze.Analyze(obs.Merge(traces...), analyze.Options{Group: "smoke"})
+		for _, rk := range rep.Rekeys {
+			if rk.Class == "join" && rk.FullyPhased() {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no fully-phased join rekey in the daemons' traces; rekeys: %+v", rep.Rekeys)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs/analyze"
+)
+
+func TestParseSizes(t *testing.T) {
+	cases := map[string][]int{
+		"2..5":  {2, 3, 4, 5},
+		"2,4,8": {2, 4, 8},
+		"8,2,4": {2, 4, 8},
+		"3,3":   {3},
+		"6":     {6},
+	}
+	for spec, want := range cases {
+		got, err := ParseSizes(spec)
+		if err != nil {
+			t.Errorf("ParseSizes(%q): %v", spec, err)
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("ParseSizes(%q) = %v, want %v", spec, got, want)
+		}
+	}
+	for _, bad := range []string{"", "1..3", "0", "x", "4..2", "2,x"} {
+		if got, err := ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+// TestRekeySweepSmall runs the live sweep at its smallest useful shape and
+// checks the analyzer output covers every class the sweep drives: joins at
+// both sizes, the churn leave, and the refresh — each with phase data —
+// plus the deterministic exponentiation rows.
+func TestRekeySweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-stack sweep is not a -short test")
+	}
+	res, err := RekeySweep("cliques", []int{2, 3}, 1)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("sweep produced no trace events")
+	}
+
+	bySizeClass := make(map[string]analyze.ClassSummary)
+	for _, s := range res.Summaries {
+		bySizeClass[fmt.Sprintf("%s/%d", s.Class, s.Size)] = s
+	}
+	for _, want := range []string{"join/2", "join/3", "refresh/2", "refresh/3", "leave/1", "leave/2"} {
+		s, ok := bySizeClass[want]
+		if !ok {
+			t.Errorf("sweep summaries missing %s (have %v)", want, keys(bySizeClass))
+			continue
+		}
+		if s.Rekeys == 0 || s.Mean.TotalMs <= 0 {
+			t.Errorf("%s: no phased rekeys (%+v)", want, s)
+		}
+	}
+	// Every summarized record must carry the protocol attribution.
+	for _, s := range res.Summaries {
+		if s.Class != "initial" && s.Proto != "cliques" {
+			t.Errorf("summary %s/%d has proto %q, want cliques", s.Class, s.Size, s.Proto)
+		}
+	}
+
+	if len(res.Exps) != 2 || res.Exps[0].N != 2 || res.Exps[1].N != 3 {
+		t.Fatalf("exp rows = %+v, want n=2 and n=3", res.Exps)
+	}
+	for _, e := range res.Exps {
+		// A leave down to a single member can cost zero exponentiations;
+		// joins always cost at least one.
+		if e.JoinSerial <= 0 || e.JoinController <= 0 {
+			t.Errorf("exp row n=%d has empty counts: %+v", e.N, e)
+		}
+	}
+}
+
+func keys(m map[string]analyze.ClassSummary) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

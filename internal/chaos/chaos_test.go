@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/analyze"
 )
 
 // The matrix flags make any failing seed a one-line repro:
@@ -238,6 +240,54 @@ func TestChaosCausalTraceOnViolation(t *testing.T) {
 		if !strings.Contains(dump, kind) {
 			t.Errorf("merged causal trace has no %q events:\n%s", kind, dump)
 		}
+	}
+
+	// The dump embeds the trace analyzer's verdict between the node
+	// summaries and the raw merged trace, and the merged trace itself is
+	// exposed on the Result for offline analysis (sgctrace report).
+	if !strings.Contains(dump, "-- anomaly report --") {
+		t.Errorf("causal trace has no anomaly report section:\n%s", dump)
+	}
+	if len(res.Events) == 0 {
+		t.Error("Result.Events is empty; the merged causal trace must always be populated")
+	}
+	anomalies := analyze.DetectAnomalies(res.Events, analyze.Options{Group: "chaos"})
+	for _, a := range anomalies {
+		if !strings.Contains(dump, a.String()) {
+			t.Errorf("anomaly %q missing from the dump", a.String())
+		}
+	}
+}
+
+// TestChaosResultEventsOnPass checks that a clean run still carries the
+// merged causal trace (the analyzer consumes passing runs too, e.g. for
+// the sgcbench observability report).
+func TestChaosResultEventsOnPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is not a -short test")
+	}
+	res, err := Run(Config{Seed: 3, Events: 8})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("passing run has no merged events")
+	}
+	rep := analyze.Analyze(res.Events, analyze.Options{Group: "chaos"})
+	if len(rep.Rekeys) == 0 {
+		t.Fatalf("analyzer found no rekeys in %d events", len(res.Events))
+	}
+	keyed := 0
+	for _, rk := range rep.Rekeys {
+		if rk.Complete {
+			keyed++
+		}
+	}
+	if keyed == 0 {
+		t.Errorf("no correlated rekey completed; rekeys: %d", len(rep.Rekeys))
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/dh"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/spread"
 	"repro/internal/transport"
 
@@ -114,10 +115,15 @@ type Result struct {
 	// by every client: rekey latency by membership-event class, flush
 	// round durations, exponentiation counts.
 	Metrics obs.Snapshot
+	// Events is the merged, time-ordered causal trace of every node in
+	// the run — daemons (including crashed ones), clients (including
+	// departed ones), and the driver's schedule ring. Always populated,
+	// so passing runs can be fed to the trace analyzer too.
+	Events []obs.Event
 	// CausalTrace is populated only when an invariant fails: one summary
-	// line per node (its view id, KGA state, and last flush round)
-	// followed by the merged, time-ordered causal event trace of every
-	// node in the run.
+	// line per node (its view id, KGA state, and last flush round), the
+	// analyzer's anomaly report, then the merged, time-ordered causal
+	// event trace of every node in the run.
 	CausalTrace []string
 }
 
@@ -291,31 +297,47 @@ func Replay(cfg Config, sched *Schedule) (*Result, error) {
 		res.Exps[c.name] = c.counter.Snapshot()
 	}
 	res.Metrics = d.reg.Snapshot()
+	res.Events = d.mergedEvents()
 	if !res.Passed() {
 		d.log.Errorf("seed=%d: %d invariant violation(s); dumping causal trace",
 			cfg.Seed, len(res.Violations))
-		res.CausalTrace = d.causalTrace()
+		res.CausalTrace = d.causalTrace(res.Events)
 	}
 	return res, nil
 }
 
-// causalTrace assembles the post-mortem dump: one summary line per node
-// naming its last-known view id, KGA state, and last flush round, then the
-// merged time-ordered causal trace of every node's recorder — daemons
-// (including crashed ones), clients (including departed ones), and the
-// driver's own schedule-event ring.
-func (d *driver) causalTrace() []string {
-	var out []string
+// mergedEvents interleaves every node's recorder — daemons (including
+// crashed ones), clients (including departed ones), and the driver's own
+// schedule-event ring — into one time-ordered causal trace.
+func (d *driver) mergedEvents() []obs.Event {
 	var traces [][]obs.Event
+	for _, name := range d.aliveDaemons() {
+		traces = append(traces, d.daemons[name].Obs().Rec.Events())
+	}
+	for _, sc := range d.dead {
+		traces = append(traces, sc.Rec.Events())
+	}
+	for _, c := range d.allClients() {
+		traces = append(traces, c.obs.Rec.Events())
+	}
+	traces = append(traces, d.obs.Rec.Events())
+	return obs.Merge(traces...)
+}
+
+// causalTrace assembles the post-mortem dump: one summary line per node
+// naming its last-known view id, KGA state, and last flush round, the
+// trace analyzer's anomaly report (wedged flush rounds, stalled KGA
+// machines, epoch-divergent nodes), then the merged time-ordered causal
+// trace itself.
+func (d *driver) causalTrace(merged []obs.Event) []string {
+	var out []string
 	for _, name := range d.aliveDaemons() {
 		dm := d.daemons[name]
 		v := dm.CurrentView()
 		out = append(out, fmt.Sprintf("node %s: daemon view=%s members=%v", name, v.ID, v.Members))
-		traces = append(traces, dm.Obs().Rec.Events())
 	}
 	for _, sc := range d.dead {
 		out = append(out, fmt.Sprintf("node %s: daemon crashed", sc.Node))
-		traces = append(traces, sc.Rec.Events())
 	}
 	for _, c := range d.allClients() {
 		evs := c.obs.Rec.Events()
@@ -330,11 +352,16 @@ func (d *driver) causalTrace() []string {
 		}
 		out = append(out, fmt.Sprintf("node %s: view=%s kga-state=%q last-flush=%q",
 			c.member, view, kga, flush))
-		traces = append(traces, evs)
 	}
-	traces = append(traces, d.obs.Rec.Events())
+	rep := analyze.Analyze(merged, analyze.Options{Group: d.cfg.Group})
+	out = append(out, "-- anomaly report --")
+	if lines := rep.AnomalyLines(); len(lines) > 0 {
+		out = append(out, lines...)
+	} else {
+		out = append(out, "none")
+	}
 	out = append(out, "-- merged causal trace --")
-	for _, e := range obs.Merge(traces...) {
+	for _, e := range merged {
 		out = append(out, e.String())
 	}
 	return out

@@ -155,11 +155,27 @@ func (c *Conn) Join(group, protoName, suiteName string) error {
 			return
 		}
 		// Protocol engines that support it report their state-machine
-		// transitions into the causal trace.
+		// transitions into the causal trace. The callback runs on the
+		// event loop (engines are loop-driven), so it may read the group
+		// context: transitions are stamped with the driving view, the
+		// committed key epoch, and a per-rekey round number, which is what
+		// lets the analyzer attribute KGA rounds to one rekey across
+		// nodes.
 		if ts, ok := proto.(kga.TraceSetter); ok {
 			sc, grp, comp := c.obs, group, protoName
 			ts.SetTrace(func(kind, detail string) {
-				sc.Record(obs.Event{Comp: comp, Kind: "kga-" + kind, Group: grp, Detail: detail})
+				g.kgaSeq++
+				viewStr := ""
+				if g.view != nil {
+					viewStr = fmt.Sprintf("%v", g.view.ID)
+				}
+				var epoch uint64
+				if k := g.proto.Key(); k != nil {
+					epoch = k.Epoch
+				}
+				sc.Record(obs.Event{Comp: comp, Kind: "kga-" + kind,
+					Group: grp, View: viewStr, KeyEpoch: epoch,
+					Detail: fmt.Sprintf("round=%d %s", g.kgaSeq, detail)})
 			})
 		}
 		g.proto = proto

@@ -74,6 +74,9 @@ type groupCtx struct {
 	rekeyStart     time.Time
 	rekeyClass     string
 	firstSendEpoch uint64
+	// kgaSeq numbers the protocol engine's trace events within the
+	// current rekey ("round=N"), reset whenever a new rekey begins.
+	kgaSeq int
 }
 
 type deferredMsg struct {
@@ -110,6 +113,7 @@ func (g *groupCtx) onView(v spread.ViewEvent) {
 	g.pendingData = make(map[uint64][]pendingFrame)
 	g.rekeyStart = time.Now()
 	g.rekeyClass = ""
+	g.kgaSeq = 0
 
 	ann := &announceBody{
 		Name:  g.conn.Name(),
@@ -548,6 +552,7 @@ func (g *groupCtx) maybeStartRefresh() {
 	}
 	g.rekeyStart = time.Now()
 	g.rekeyClass = "refresh"
+	g.kgaSeq = 0
 	g.conn.obs.Record(obs.Event{Comp: "core", Kind: "refresh-start",
 		Group: g.name, KeyEpoch: g.key.Epoch, Detail: "controller"})
 	res, err := g.proto.HandleEvent(kga.Event{Type: kga.EvRefresh, Members: g.proto.Members()})
@@ -581,6 +586,7 @@ func (g *groupCtx) onRefreshStart(from string) {
 	}
 	g.rekeyStart = time.Now()
 	g.rekeyClass = "refresh"
+	g.kgaSeq = 0
 	g.conn.obs.Record(obs.Event{Comp: "core", Kind: "refresh-start",
 		Group: g.name, KeyEpoch: g.key.Epoch, Detail: "from=" + from})
 	res, err := g.proto.HandleEvent(kga.Event{Type: kga.EvRefresh, Members: g.proto.Members()})

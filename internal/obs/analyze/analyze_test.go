@@ -1,0 +1,291 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// tb builds hand-crafted synthetic traces with millisecond-precision
+// offsets from a fixed origin.
+type tb struct {
+	t0   time.Time
+	seqs map[string]uint64
+	evs  []obs.Event
+}
+
+func newTB() *tb {
+	return &tb{
+		t0:   time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		seqs: make(map[string]uint64),
+	}
+}
+
+func (b *tb) at(msOff int, node, comp, kind string, mut ...func(*obs.Event)) {
+	b.seqs[node]++
+	e := obs.Event{
+		Seq:  b.seqs[node],
+		T:    b.t0.Add(time.Duration(msOff) * time.Millisecond),
+		Node: node, Comp: comp, Kind: kind,
+		Group: "g",
+	}
+	for _, m := range mut {
+		m(&e)
+	}
+	b.evs = append(b.evs, e)
+}
+
+func view(v string) func(*obs.Event)      { return func(e *obs.Event) { e.View = v } }
+func epoch(k uint64) func(*obs.Event)     { return func(e *obs.Event) { e.KeyEpoch = k } }
+func detail(d string) func(*obs.Event)    { return func(e *obs.Event) { e.Detail = d } }
+
+// joinRekey appends one complete join rekey for node at view v installing
+// epoch ep, with the canonical phase offsets (all in ms from base):
+// flush-request +0, vs-view-install +10, plan +14, kga rounds +14..+30,
+// key-install +34, first-send +40.
+func (b *tb) joinRekey(base int, node, v string, ep uint64, members string) {
+	b.at(base+0, node, "flush", "flush-request", view(v))
+	b.at(base+10, node, "flush", "vs-view-install", view(v), detail("reason=join members="+members))
+	b.at(base+12, node, "core", "announce", view(v))
+	b.at(base+14, node, "core", "plan", view(v), detail("class=join ops=[join] fullRekey=false"))
+	b.at(base+20, node, "cliques", "kga-state", view(v), detail("round=1 idle -> collect-factors"))
+	b.at(base+30, node, "cliques", "kga-state", view(v), detail("round=2 collect-factors -> idle"))
+	b.at(base+34, node, "core", "key-install", view(v), epoch(ep),
+		detail("class=join members="+members+" controller=b#d1 fullRekey=false"))
+	b.at(base+40, node, "core", "first-send", epoch(ep), detail("bytes=5"))
+}
+
+func TestCorrelateJoinAcrossNodes(t *testing.T) {
+	b := newTB()
+	b.joinRekey(0, "a#d1", "1@d1/3", 2, "[a#d1 b#d1]")
+	b.joinRekey(2, "b#d1", "1@d1/3", 2, "[a#d1 b#d1]")
+
+	rekeys := Correlate(b.evs)
+	if len(rekeys) != 1 {
+		t.Fatalf("want 1 correlated rekey, got %d: %+v", len(rekeys), rekeys)
+	}
+	r := rekeys[0]
+	if r.Group != "g" || r.View != "1@d1/3" || r.Class != "join" || r.Proto != "cliques" {
+		t.Fatalf("rekey identity wrong: %+v", r)
+	}
+	if r.KeyEpoch != 2 || r.Size != 2 || !r.Complete || !r.FullyPhased() {
+		t.Fatalf("rekey state wrong: epoch=%d size=%d complete=%v fully=%v",
+			r.KeyEpoch, r.Size, r.Complete, r.FullyPhased())
+	}
+	if len(r.Nodes) != 2 {
+		t.Fatalf("want both nodes correlated, got %d", len(r.Nodes))
+	}
+	// Phase decomposition of each node record: flush 10ms, align 4ms,
+	// kga 16ms, install 4ms, first-send 6ms, total 34ms.
+	for _, n := range r.Nodes {
+		p := n.Phases
+		if p.FlushMs != 10 || p.AlignMs != 4 || p.KGAMs != 16 || p.InstallMs != 4 ||
+			p.FirstSendMs != 6 || p.TotalMs != 34 {
+			t.Fatalf("node %s phases wrong: %+v", n.Node, p)
+		}
+		if n.KGARounds != 2 {
+			t.Fatalf("node %s kga rounds = %d, want 2", n.Node, n.KGARounds)
+		}
+	}
+	// Group-wide total spans a#d1's start (+0) to b#d1's install (+36).
+	if r.GroupTotalMs != 36 {
+		t.Fatalf("group total = %v, want 36", r.GroupTotalMs)
+	}
+}
+
+func TestCorrelateRefresh(t *testing.T) {
+	b := newTB()
+	for off, node := range map[int]string{0: "a#d1", 1: "b#d2"} {
+		b.at(off, node, "core", "refresh-start", epoch(3))
+		b.at(off+5, node, "ckd", "kga-state", detail("round=1 idle -> ctrl-collect"))
+		b.at(off+9, node, "ckd", "kga-state", detail("round=2 ctrl-collect -> idle"))
+		b.at(off+10, node, "core", "key-install", epoch(4),
+			detail("class=refresh members=[a#d1 b#d2] controller=a#d1 fullRekey=false"))
+	}
+	rekeys := Correlate(b.evs)
+	if len(rekeys) != 1 {
+		t.Fatalf("want refresh correlated into 1 rekey, got %d", len(rekeys))
+	}
+	r := rekeys[0]
+	if r.Class != "refresh" || r.Proto != "ckd" || r.KeyEpoch != 4 || len(r.Nodes) != 2 {
+		t.Fatalf("refresh rekey wrong: %+v", r)
+	}
+	for _, n := range r.Nodes {
+		if n.Phases.TotalMs != 10 || n.Phases.KGAMs != 9 || n.Phases.InstallMs != 1 {
+			t.Fatalf("refresh phases wrong on %s: %+v", n.Node, n.Phases)
+		}
+		if n.Phases.FlushMs != 0 || n.Phases.AlignMs != 0 {
+			t.Fatalf("refresh must have no flush/align phase: %+v", n.Phases)
+		}
+	}
+}
+
+func TestSupersededAttemptIsNotAnomalous(t *testing.T) {
+	b := newTB()
+	// A flush interrupted by a cascaded view, then a completed rekey.
+	b.at(0, "a#d1", "flush", "flush-request", view("1@d1/3"))
+	b.joinRekey(50, "a#d1", "1@d1/4", 2, "[a#d1]")
+	// Pad the trace end well past the stall threshold.
+	b.at(10_000, "a#d1", "core", "first-send", epoch(2))
+
+	rep := Analyze(b.evs, Options{})
+	if len(rep.Anomalies) != 0 {
+		t.Fatalf("superseded flush must not be anomalous: %+v", rep.Anomalies)
+	}
+}
+
+func TestDetectWedgedFlush(t *testing.T) {
+	b := newTB()
+	b.joinRekey(0, "a#d1", "1@d1/3", 2, "[a#d1 b#d1]")
+	// b#d1 starts the flush round and never installs the view; the trace
+	// runs on long enough to exceed the stall threshold.
+	b.at(0, "b#d1", "flush", "flush-request", view("1@d1/3"))
+	b.at(5_000, "a#d1", "core", "first-send", epoch(2))
+
+	anoms := DetectAnomalies(b.evs, Options{StallThreshold: time.Second})
+	found := false
+	for _, a := range anoms {
+		if a.Kind == AnomalyWedgedFlush && a.Node == "b#d1" && a.View == "1@d1/3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wedged flush not detected: %+v", anoms)
+	}
+}
+
+func TestDetectEpochDivergence(t *testing.T) {
+	b := newTB()
+	b.joinRekey(0, "a#d1", "1@d1/3", 2, "[a#d1 b#d1]")
+	// b#d1 installs the same view but lands on a different epoch.
+	b.at(1, "b#d1", "flush", "flush-request", view("1@d1/3"))
+	b.at(11, "b#d1", "flush", "vs-view-install", view("1@d1/3"), detail("members=[a#d1 b#d1]"))
+	b.at(15, "b#d1", "core", "plan", view("1@d1/3"), detail("class=join ops=[join]"))
+	b.at(35, "b#d1", "core", "key-install", view("1@d1/3"), epoch(7),
+		detail("class=join members=[a#d1 b#d1] controller=b#d1"))
+
+	anoms := DetectAnomalies(b.evs, Options{StallThreshold: time.Minute})
+	found := false
+	for _, a := range anoms {
+		if a.Kind == AnomalyEpochDivergence && a.Group == "g" &&
+			strings.Contains(a.Detail, "epoch 2") && strings.Contains(a.Detail, "epoch 7") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("epoch divergence not detected: %+v", anoms)
+	}
+}
+
+func TestDetectKGAStallAndNoKeyInstall(t *testing.T) {
+	b := newTB()
+	// a#d1: planned, one KGA transition, then silence -> kga-stall.
+	b.at(0, "a#d1", "flush", "flush-request", view("1@d1/5"))
+	b.at(10, "a#d1", "flush", "vs-view-install", view("1@d1/5"), detail("members=[a#d1 b#d1]"))
+	b.at(14, "a#d1", "core", "plan", view("1@d1/5"), detail("class=join ops=[join]"))
+	b.at(20, "a#d1", "cliques", "kga-state", view("1@d1/5"), detail("round=1 idle -> await-seed"))
+	// b#d1: view installed, announcements never complete -> no-key-install.
+	b.at(0, "b#d1", "flush", "flush-request", view("1@d1/5"))
+	b.at(10, "b#d1", "flush", "vs-view-install", view("1@d1/5"), detail("members=[a#d1 b#d1]"))
+	// Trace runs on.
+	b.at(8_000, "c#d1", "flush", "flush-request", view("9@d1/9"),
+		func(e *obs.Event) { e.Group = "other" })
+
+	anoms := DetectAnomalies(b.evs, Options{StallThreshold: 2 * time.Second})
+	var stall, noInstall bool
+	for _, a := range anoms {
+		switch {
+		case a.Kind == AnomalyKGAStall && a.Node == "a#d1":
+			stall = true
+			if !strings.Contains(a.Detail, "await-seed") {
+				t.Fatalf("stall detail should carry the last state: %q", a.Detail)
+			}
+		case a.Kind == AnomalyNoKeyInstall && a.Node == "b#d1":
+			noInstall = true
+		}
+	}
+	if !stall || !noInstall {
+		t.Fatalf("stall=%v noInstall=%v anomalies=%+v", stall, noInstall, anoms)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := newTB()
+	b.joinRekey(0, "a#d1", "1@d1/3", 2, "[a#d1 b#d1]")
+	b.joinRekey(1, "b#d1", "1@d1/3", 2, "[a#d1 b#d1]")
+	b.joinRekey(100, "a#d1", "1@d1/4", 3, "[a#d1 b#d1 c#d1]")
+	b.joinRekey(101, "b#d1", "1@d1/4", 3, "[a#d1 b#d1 c#d1]")
+	b.joinRekey(102, "c#d1", "1@d1/4", 3, "[a#d1 b#d1 c#d1]")
+
+	rep := Analyze(b.evs, Options{StallThreshold: time.Minute})
+	if len(rep.Summary) != 2 {
+		t.Fatalf("want summaries for sizes 2 and 3, got %+v", rep.Summary)
+	}
+	s2, s3 := rep.Summary[0], rep.Summary[1]
+	if s2.Size != 2 || s3.Size != 3 {
+		t.Fatalf("summary sizes wrong: %+v", rep.Summary)
+	}
+	if s2.Class != "join" || s2.Proto != "cliques" || s2.Records != 2 || s2.Rekeys != 1 {
+		t.Fatalf("size-2 summary wrong: %+v", s2)
+	}
+	if s3.Records != 3 {
+		t.Fatalf("size-3 summary records = %d, want 3", s3.Records)
+	}
+	// Every synthetic record totals 34ms with identical phases.
+	if s2.TotalP50Ms != 34 || s2.TotalMaxMs != 34 || s2.Mean.FlushMs != 10 {
+		t.Fatalf("size-2 stats wrong: %+v", s2)
+	}
+	share := s2.Share.Flush + s2.Share.Align + s2.Share.KGA + s2.Share.Install
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("phase shares must sum to 1, got %v", share)
+	}
+
+	// The text report renders the table and per-rekey lines.
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"phase decomposition", "class=join", "fully-phased=true", "anomalies (0)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGroupFilter(t *testing.T) {
+	b := newTB()
+	b.joinRekey(0, "a#d1", "1@d1/3", 2, "[a#d1]")
+	b.at(50, "a#d1", "flush", "flush-request", view("2@d1/1"),
+		func(e *obs.Event) { e.Group = "other" })
+
+	rep := Analyze(b.evs, Options{Group: "g", StallThreshold: time.Minute})
+	for _, r := range rep.Rekeys {
+		if r.Group != "g" {
+			t.Fatalf("group filter leaked %q", r.Group)
+		}
+	}
+}
+
+func TestDetailParsing(t *testing.T) {
+	d := "class=join ops=[join leave] fullRekey=false members=[a#d1 b#d1 c#d1] controller=b#d1"
+	if got := detailField(d, "class"); got != "join" {
+		t.Fatalf("class = %q", got)
+	}
+	if got := detailField(d, "controller"); got != "b#d1" {
+		t.Fatalf("controller = %q", got)
+	}
+	if got := detailMembers(d); len(got) != 3 || got[0] != "a#d1" || got[2] != "c#d1" {
+		t.Fatalf("members = %v", got)
+	}
+	if got := detailField(d, "fullRekey"); got != "false" {
+		t.Fatalf("fullRekey = %q", got)
+	}
+	// "Rekey=" must not match the "fullRekey=" suffix.
+	if got := detailField(d, "Rekey"); got != "" {
+		t.Fatalf("suffix match leaked: %q", got)
+	}
+	if got := detailField("", "class"); got != "" {
+		t.Fatalf("empty detail: %q", got)
+	}
+}

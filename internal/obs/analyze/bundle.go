@@ -1,0 +1,60 @@
+package analyze
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// NodeSnapshot is what `sgctrace collect` gathered from one daemon's
+// introspection endpoints. An unreachable daemon is retained with
+// Healthy=false and its error, so a partial collection still names every
+// node it was asked about.
+type NodeSnapshot struct {
+	Node    string `json:"node"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+
+	// Metrics is the node's own registry; Process is the process-global
+	// registry serving it (crypt throughput lives there).
+	Metrics obs.Snapshot `json:"metrics,omitempty"`
+	Process obs.Snapshot `json:"process,omitempty"`
+
+	// TotalRecorded is the node's lifetime event count; Events is the
+	// retained ring (oldest first).
+	TotalRecorded uint64      `json:"total_recorded,omitempty"`
+	Events        []obs.Event `json:"events,omitempty"`
+}
+
+// Bundle is one collection pass over a live cluster: a point-in-time
+// snapshot of every node's metrics and trace ring, merged offline into one
+// causal chain by MergedEvents.
+type Bundle struct {
+	CollectedAt time.Time      `json:"collected_at"`
+	Group       string         `json:"group,omitempty"`
+	Nodes       []NodeSnapshot `json:"nodes"`
+}
+
+// MergedEvents interleaves every healthy node's trace into one
+// time-ordered causal chain.
+func (b *Bundle) MergedEvents() []obs.Event {
+	traces := make([][]obs.Event, 0, len(b.Nodes))
+	for _, n := range b.Nodes {
+		if len(n.Events) > 0 {
+			traces = append(traces, n.Events)
+		}
+	}
+	return obs.Merge(traces...)
+}
+
+// Healthy counts the nodes that answered.
+func (b *Bundle) Healthy() int {
+	n := 0
+	for _, s := range b.Nodes {
+		if s.Healthy {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package analyze
+
+import "sort"
+
+// ClassSummary aggregates the node-level rekey records of one
+// (protocol, membership-event class, group size) cell — one data point of
+// the paper's Figures 4-8 style plots.
+type ClassSummary struct {
+	Proto string `json:"proto"`
+	Class string `json:"class"`
+	Size  int    `json:"size"`
+	// Rekeys counts distinct correlated rekeys; Records counts the
+	// node-level observations they aggregate.
+	Rekeys  int `json:"rekeys"`
+	Records int `json:"records"`
+
+	TotalP50Ms float64 `json:"total_p50_ms"`
+	TotalP95Ms float64 `json:"total_p95_ms"`
+	TotalMaxMs float64 `json:"total_max_ms"`
+
+	// Mean holds the per-phase mean durations.
+	Mean Phases `json:"mean"`
+	// Share holds each phase's share of the mean total (0..1); shares
+	// cover flush, align, kga, and install (first-send is outside the
+	// rekey span).
+	Share struct {
+		Flush   float64 `json:"flush"`
+		Align   float64 `json:"align"`
+		KGA     float64 `json:"kga"`
+		Install float64 `json:"install"`
+	} `json:"share"`
+
+	MeanKGARounds float64 `json:"mean_kga_rounds"`
+}
+
+// Summarize folds correlated rekeys into per-(proto, class, size)
+// summaries, sorted by proto, class, then size. Only node records that
+// observed a complete span (start through key-install) contribute.
+func Summarize(rekeys []*Rekey) []ClassSummary {
+	type cell struct {
+		proto, class string
+		size         int
+	}
+	totals := make(map[cell][]float64)
+	sums := make(map[cell]*ClassSummary)
+	rekeySeen := make(map[cell]int)
+
+	for _, r := range rekeys {
+		counted := false
+		for _, n := range r.Nodes {
+			if !n.Keyed() || n.Start.IsZero() {
+				continue
+			}
+			class := n.Class
+			if class == "" {
+				class = r.Class
+			}
+			proto := n.Proto
+			if proto == "" {
+				proto = r.Proto
+			}
+			k := cell{proto, class, r.Size}
+			s := sums[k]
+			if s == nil {
+				s = &ClassSummary{Proto: proto, Class: class, Size: r.Size}
+				sums[k] = s
+			}
+			s.Records++
+			s.Mean.FlushMs += n.Phases.FlushMs
+			s.Mean.AlignMs += n.Phases.AlignMs
+			s.Mean.KGAMs += n.Phases.KGAMs
+			s.Mean.InstallMs += n.Phases.InstallMs
+			s.Mean.FirstSendMs += n.Phases.FirstSendMs
+			s.Mean.TotalMs += n.Phases.TotalMs
+			s.MeanKGARounds += float64(n.KGARounds)
+			totals[k] = append(totals[k], n.Phases.TotalMs)
+			if !counted {
+				rekeySeen[k]++
+				counted = true
+			}
+		}
+	}
+
+	out := make([]ClassSummary, 0, len(sums))
+	for k, s := range sums {
+		n := float64(s.Records)
+		s.Mean.FlushMs /= n
+		s.Mean.AlignMs /= n
+		s.Mean.KGAMs /= n
+		s.Mean.InstallMs /= n
+		s.Mean.FirstSendMs /= n
+		s.Mean.TotalMs /= n
+		s.MeanKGARounds /= n
+		s.Rekeys = rekeySeen[k]
+		vals := totals[k]
+		sort.Float64s(vals)
+		s.TotalP50Ms = percentile(vals, 0.50)
+		s.TotalP95Ms = percentile(vals, 0.95)
+		s.TotalMaxMs = vals[len(vals)-1]
+		if span := s.Mean.FlushMs + s.Mean.AlignMs + s.Mean.KGAMs + s.Mean.InstallMs; span > 0 {
+			s.Share.Flush = s.Mean.FlushMs / span
+			s.Share.Align = s.Mean.AlignMs / span
+			s.Share.KGA = s.Mean.KGAMs / span
+			s.Share.Install = s.Mean.InstallMs / span
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proto != out[j].Proto {
+			return out[i].Proto < out[j].Proto
+		}
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Size < out[j].Size
+	})
+	return out
+}
+
+// percentile returns the p-quantile of sorted vals (nearest-rank).
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(vals)) + 0.5)
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return vals[idx]
+}

@@ -9,24 +9,26 @@ import (
 // Live introspection endpoints (cmd/spreadd -debug-addr):
 //
 //	/metrics          expvar-style JSON: the node's registry plus the
-//	                  process-global Default registry
+//	                  process-global Default registry; &format=prom
+//	                  renders Prometheus text exposition instead
 //	/trace?group=G    the node's recent causal event ring, optionally
 //	                  filtered to one group; &text=1 renders plain lines
 //	/healthz          liveness probe
 //	/debug/pprof/     the standard runtime profiles
 //
-// All responses are well-formed JSON except /trace?text=1 and the pprof
-// pages.
+// All responses are well-formed JSON except /metrics?format=prom,
+// /trace?text=1 and the pprof pages.
 
-// metricsPayload is the /metrics response shape.
-type metricsPayload struct {
+// MetricsPayload is the /metrics JSON response shape. sgctrace decodes it
+// when collecting snapshot bundles from a live cluster.
+type MetricsPayload struct {
 	Node    string   `json:"node"`
 	Metrics Snapshot `json:"metrics"`
 	Process Snapshot `json:"process"`
 }
 
-// tracePayload is the /trace response shape.
-type tracePayload struct {
+// TracePayload is the /trace JSON response shape.
+type TracePayload struct {
 	Node   string  `json:"node"`
 	Group  string  `json:"group,omitempty"`
 	Total  uint64  `json:"total_recorded"`
@@ -45,9 +47,16 @@ func Mux(sc *Scope) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		p := metricsPayload{Node: sc.Node, Process: Default.Snapshot()}
+		p := MetricsPayload{Node: sc.Node, Process: Default.Snapshot()}
 		if sc.Reg != nil {
 			p.Metrics = sc.Reg.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			// The node registry wins a name collision with the process
+			// registry: duplicate metric families are invalid exposition.
+			WritePrometheus(w, p.Metrics, p.Process)
+			return
 		}
 		writeJSON(w, p)
 	})
@@ -62,7 +71,7 @@ func Mux(sc *Scope) *http.ServeMux {
 			}
 			return
 		}
-		writeJSON(w, tracePayload{
+		writeJSON(w, TracePayload{
 			Node:   sc.Node,
 			Group:  group,
 			Total:  sc.Rec.Total(),

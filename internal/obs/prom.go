@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry
+// snapshots, so standard scrapers work against spreadd -debug-addr
+// (/metrics?format=prom).
+//
+// The registry's internal "name{value}" one-label convention maps onto a
+// generic Prometheus label: rekey_latency{join} renders as
+// rekey_latency{label="join"}. Histograms render as classic Prometheus
+// histograms with le bounds in seconds.
+
+// promSeries is one parsed metric: base family name and optional label.
+type promSeries struct {
+	name  string
+	label string
+}
+
+func splitLabel(name string) promSeries {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return promSeries{name: name[:i], label: name[i+1 : len(name)-1]}
+	}
+	return promSeries{name: name}
+}
+
+// promName sanitizes a family name to the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+func promLabels(label string, extra ...string) string {
+	var parts []string
+	if label != "" {
+		parts = append(parts, `label="`+promEscape(label)+`"`)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// leSeconds converts a snapshot bucket bound (a time.Duration string, or
+// "+Inf") to the le label value in seconds.
+func leSeconds(le string) string {
+	if le == "+Inf" {
+		return "+Inf"
+	}
+	d, err := time.ParseDuration(le)
+	if err != nil {
+		return "+Inf"
+	}
+	return formatFloat(d.Seconds())
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// WritePrometheus renders one or more snapshots as Prometheus text
+// exposition. When several snapshots carry the same metric family (a node
+// registry shadowing the process registry), the earliest snapshot wins:
+// duplicate families are invalid exposition.
+func WritePrometheus(w io.Writer, snaps ...Snapshot) {
+	type ctrVal struct {
+		s promSeries
+		v int64
+	}
+	seenFamily := make(map[string]int) // family -> snapshot index that owns it
+	own := func(family string, idx int) bool {
+		if prev, ok := seenFamily[family]; ok {
+			return prev == idx
+		}
+		seenFamily[family] = idx
+		return true
+	}
+
+	var counters, gauges []ctrVal
+	type histVal struct {
+		s promSeries
+		h HistogramSnapshot
+	}
+	var hists []histVal
+
+	for idx, snap := range snaps {
+		for name, v := range snap.Counters {
+			s := splitLabel(name)
+			if own("c:"+s.name, idx) {
+				counters = append(counters, ctrVal{s, v})
+			}
+		}
+		for name, v := range snap.Gauges {
+			s := splitLabel(name)
+			if own("g:"+s.name, idx) {
+				gauges = append(gauges, ctrVal{s, v})
+			}
+		}
+		for name, h := range snap.Histograms {
+			s := splitLabel(name)
+			if own("h:"+s.name, idx) {
+				hists = append(hists, histVal{s, h})
+			}
+		}
+	}
+
+	sortSeries := func(a, b promSeries) bool {
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.label < b.label
+	}
+	sort.Slice(counters, func(i, j int) bool { return sortSeries(counters[i].s, counters[j].s) })
+	sort.Slice(gauges, func(i, j int) bool { return sortSeries(gauges[i].s, gauges[j].s) })
+	sort.Slice(hists, func(i, j int) bool { return sortSeries(hists[i].s, hists[j].s) })
+
+	lastType := ""
+	emitType := func(family, kind string) {
+		if family != lastType {
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+			lastType = family
+		}
+	}
+
+	for _, c := range counters {
+		fam := promName(c.s.name)
+		emitType(fam, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", fam, promLabels(c.s.label), c.v)
+	}
+	for _, g := range gauges {
+		fam := promName(g.s.name)
+		emitType(fam, "gauge")
+		fmt.Fprintf(w, "%s%s %d\n", fam, promLabels(g.s.label), g.v)
+	}
+	for _, hv := range hists {
+		fam := promName(hv.s.name) + "_seconds"
+		emitType(fam, "histogram")
+		cum := int64(0)
+		for _, b := range hv.h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket%s %d\n", fam,
+				promLabels(hv.s.label, `le="`+leSeconds(b.LE)+`"`), cum)
+		}
+		sumSeconds := hv.h.MeanMs * float64(hv.h.Count) / 1000
+		fmt.Fprintf(w, "%s_sum%s %s\n", fam, promLabels(hv.s.label), formatFloat(sumSeconds))
+		fmt.Fprintf(w, "%s_count%s %d\n", fam, promLabels(hv.s.label), hv.h.Count)
+	}
+}

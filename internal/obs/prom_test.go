@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpointBothFormats serves one registry state through the
+// debug mux and checks both renderings agree: the default JSON payload and
+// the ?format=prom Prometheus text exposition.
+func TestMetricsEndpointBothFormats(t *testing.T) {
+	sc := NewScope("d01", "obstest")
+	sc.Reg.Counter(LabelName("wire_msgs", "send")).Add(7)
+	sc.Reg.Gauge("group_members").Set(3)
+	h := sc.Reg.Histogram(LabelName("rekey_latency", "join"),
+		[]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(time.Second)
+
+	srv := httptest.NewServer(Mux(sc))
+	defer srv.Close()
+
+	get := func(url string) (string, string) {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// JSON rendering.
+	jsonBody, ct := get(srv.URL + "/metrics")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics Content-Type = %q, want application/json", ct)
+	}
+	var p MetricsPayload
+	if err := json.Unmarshal([]byte(jsonBody), &p); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v", err)
+	}
+	if p.Node != "d01" {
+		t.Errorf("payload node = %q, want d01", p.Node)
+	}
+	if p.Metrics.Counters["wire_msgs{send}"] != 7 {
+		t.Errorf("JSON counter = %d, want 7", p.Metrics.Counters["wire_msgs{send}"])
+	}
+	if p.Metrics.Histograms["rekey_latency{join}"].Count != 3 {
+		t.Errorf("JSON histogram count = %d, want 3", p.Metrics.Histograms["rekey_latency{join}"].Count)
+	}
+
+	// Prometheus rendering of the same snapshot.
+	prom, ct := get(srv.URL + "/metrics?format=prom")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("prom Content-Type = %q, want text/plain version 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"# TYPE wire_msgs counter",
+		`wire_msgs{label="send"} 7`,
+		"# TYPE group_members gauge",
+		"group_members 3",
+		"# TYPE rekey_latency_seconds histogram",
+		`rekey_latency_seconds_bucket{label="join",le="0.001"} 1`,
+		`rekey_latency_seconds_bucket{label="join",le="0.01"} 2`,
+		`rekey_latency_seconds_bucket{label="join",le="+Inf"} 3`,
+		`rekey_latency_seconds_count{label="join"} 3`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom exposition missing %q:\n%s", want, prom)
+		}
+	}
+	// Cumulative-bucket sanity: the _sum must reflect mean*count.
+	if !strings.Contains(prom, `rekey_latency_seconds_sum{label="join"} 1.0025`) {
+		t.Errorf("prom exposition sum wrong:\n%s", prom)
+	}
+}
+
+// TestWritePrometheusFamilyShadowing checks that when two snapshots carry
+// the same family (node registry vs process registry), only the first
+// snapshot's series render — duplicate families are invalid exposition.
+func TestWritePrometheusFamilyShadowing(t *testing.T) {
+	node := NewRegistry()
+	node.Counter("dh_exp{total}").Add(5)
+	proc := NewRegistry()
+	proc.Counter("dh_exp{total}").Add(99)
+	proc.Counter("crypt_seal_msgs").Add(4)
+
+	var b strings.Builder
+	WritePrometheus(&b, node.Snapshot(), proc.Snapshot())
+	out := b.String()
+	if !strings.Contains(out, `dh_exp{label="total"} 5`) {
+		t.Errorf("node series missing:\n%s", out)
+	}
+	if strings.Contains(out, "99") {
+		t.Errorf("shadowed process series leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "crypt_seal_msgs 4") {
+		t.Errorf("non-colliding process series missing:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE dh_exp counter"); n != 1 {
+		t.Errorf("dh_exp TYPE line count = %d, want 1:\n%s", n, out)
+	}
+}
+
+// TestPromNameSanitize pins the family-name sanitizer.
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"rekey_latency": "rekey_latency",
+		"9lives":        "_lives",
+		"a.b-c":         "a_b_c",
+		"":              "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promEscape("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("promEscape = %q", got)
+	}
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
-# obs-smoke: boot a 3-daemon cluster with introspection enabled, curl the
-# /metrics, /trace, and /healthz endpoints of every daemon, and assert the
-# payloads are well-formed JSON with the expected fields. Exits nonzero on
-# any failure. Requires: go, curl.
+# obs-smoke: boot a 3-daemon cluster with introspection and an embedded
+# secure client per daemon (staggered joins, so later joins rekey an
+# established group), curl the /metrics, /trace, and /healthz endpoints of
+# every daemon, then run the full sgctrace collect -> report pipeline and
+# assert the cluster produced at least one fully-phased join rekey. Exits
+# nonzero on any failure. Requires: go, curl.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,8 +18,9 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "obs-smoke: building spreadd"
+echo "obs-smoke: building spreadd and sgctrace"
 go build -o "$WORK/spreadd" ./cmd/spreadd
+go build -o "$WORK/sgctrace" ./cmd/sgctrace
 
 cat > "$WORK/segment.conf" <<EOF
 d1 127.0.0.1:14801
@@ -29,7 +32,9 @@ DEBUG_PORTS="15801 15802 15803"
 i=1
 for port in $DEBUG_PORTS; do
     "$WORK/spreadd" -name "d$i" -config "$WORK/segment.conf" \
-        -debug-addr "127.0.0.1:$port" > "$WORK/d$i.log" 2>&1 &
+        -debug-addr "127.0.0.1:$port" \
+        -join-group smoke -join-proto cliques -join-delay "$((i - 1))s" \
+        > "$WORK/d$i.log" 2>&1 &
     PIDS="$PIDS $!"
     i=$((i + 1))
 done
@@ -75,4 +80,40 @@ done
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "obs-smoke: PASS (3 daemons, 9 endpoints)"
+
+# The trace pipeline: scrape every daemon with sgctrace collect, render the
+# phase report, and require a fully-phased join rekey — the property the
+# paper's figures decompose. The staggered embedded clients guarantee the
+# second and third joins hit an already-keyed group, so a join-classified
+# rekey must appear once the last client has keyed and sent.
+echo "obs-smoke: waiting for a fully-phased join rekey"
+deadline=$(( $(date +%s) + 60 ))
+while :; do
+    "$WORK/sgctrace" collect -group smoke -out "$WORK/bundle.json" \
+        d1=http://127.0.0.1:15801 d2=http://127.0.0.1:15802 d3=http://127.0.0.1:15803 \
+        2> "$WORK/collect.log" || {
+        echo "obs-smoke: FAIL: sgctrace collect" >&2
+        cat "$WORK/collect.log" >&2
+        exit 1
+    }
+    "$WORK/sgctrace" report "$WORK/bundle.json" > "$WORK/report.txt"
+    if grep 'class=join' "$WORK/report.txt" | grep -q 'fully-phased=true'; then
+        break
+    fi
+    if [ "$(date +%s)" -gt "$deadline" ]; then
+        echo "obs-smoke: FAIL: no fully-phased join rekey; report:" >&2
+        cat "$WORK/report.txt" >&2
+        cat "$WORK"/d*.log >&2
+        exit 1
+    fi
+    sleep 1
+done
+echo "obs-smoke: sgctrace report:"
+sed -n '1,25p' "$WORK/report.txt"
+
+if grep -q 'UNREACHABLE' "$WORK/report.txt"; then
+    echo "obs-smoke: FAIL: report marks a node unreachable" >&2
+    exit 1
+fi
+
+echo "obs-smoke: PASS (3 daemons, 9 endpoints, 1+ fully-phased join rekey)"
