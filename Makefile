@@ -4,12 +4,13 @@ GO ?= go
 SWEEP_FLAGS ?= -sizes 2..8 -batch 3
 
 .PHONY: check vet build test race chaos bench-exp bench-obs bench-rekey \
-	bench-report bench-diff obs-smoke
+	bench-report bench-diff bench-wire bench-wire-diff obs-smoke
 
 ## check: the full local gate — vet, build, tests, the race suite on the
-## packages with concurrency-sensitive fast paths, and the rekey-latency
-## regression gate against the checked-in baseline.
-check: vet build test race bench-diff
+## packages with concurrency-sensitive fast paths, and the regression gates
+## against the checked-in baselines (rekey latency and the data-plane wire
+## sweep).
+check: vet build test race bench-diff bench-wire-diff
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +57,23 @@ bench-diff:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/sgcbench $(SWEEP_FLAGS) -rekey-out $$tmp >/dev/null && \
 	$(GO) run ./cmd/sgctrace diff BENCH_rekey.json $$tmp; \
+	st=$$?; rm -f $$tmp; exit $$st
+
+## bench-wire: regenerate the checked-in BENCH_wire.json baseline (wire
+## codec microbench per kind, codec vs the legacy gob path, plus the
+## message-latency-vs-size sweep over the live secure stack).
+bench-wire:
+	$(GO) run ./cmd/sgcbench -wire -wire-out BENCH_wire.json
+
+## bench-wire-diff: the data-plane regression gate — rerun the wire sweep
+## and compare it against the checked-in baseline; encoded frame sizes
+## gate exactly (they are deterministic codec properties), encode/decode
+## nanoseconds and end-to-end latency by a generous ratio with noise
+## floors.
+bench-wire-diff:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/sgcbench -wire -wire-out $$tmp >/dev/null && \
+	$(GO) run ./cmd/sgctrace diff BENCH_wire.json $$tmp; \
 	st=$$?; rm -f $$tmp; exit $$st
 
 ## obs-smoke: boot a 3-daemon TCP cluster with -debug-addr and embedded

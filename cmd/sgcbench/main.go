@@ -12,6 +12,7 @@
 //	sgcbench -experiment all
 //	sgcbench -chaos -seed 4 -events 33     # deterministic fault-schedule run
 //	sgcbench -sizes 2..8                   # rekey phase-decomposition sweep
+//	sgcbench -wire                         # Figure 5: wire codec + latency/size
 //
 // The chaos mode replays a seeded fault schedule against a live cluster and
 // checks the five global invariants (see internal/chaos); it exits nonzero
@@ -21,6 +22,13 @@
 // under both key agreement protocols, decomposes every rekey into its
 // phases with the trace analyzer, and writes BENCH_rekey.json — the input
 // of the `sgctrace diff` regression gate (`make bench-diff`).
+//
+// The wire mode measures the data plane: per-kind encoded frame sizes and
+// encode/decode times for the binary wire codec against the legacy gob
+// path, plus a secured message-latency-vs-size sweep (1B..100KB) over a
+// live two-member cluster, reproducing the shape of the paper's Figure 5.
+// It writes BENCH_wire.json — the input of the `sgctrace diff` data-plane
+// gate (`make bench-wire-diff`).
 package main
 
 import (
@@ -38,6 +46,8 @@ import (
 	"repro/internal/dh"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/spread"
+	"repro/securespread"
 )
 
 // cryptCounters snapshots the process-global cipher throughput counters
@@ -65,6 +75,9 @@ func main() {
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "chaos mode: write the observability report here (empty disables)")
 	sizesSpec := flag.String("sizes", "", `rekey sweep sizes ("2..8" or "2,4,8"); runs the sweep experiment`)
 	rekeyOut := flag.String("rekey-out", "BENCH_rekey.json", "sweep mode: write the phase-decomposition file here (empty disables)")
+	wireMode := flag.Bool("wire", false, "data-plane sweep: wire-codec microbench + message-latency-vs-size over the live stack")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire mode: write the data-plane report here (empty disables)")
+	wireCount := flag.Int("wire-count", 40, "wire mode: messages measured per payload size")
 	flag.Parse()
 
 	exp := *experiment
@@ -73,6 +86,16 @@ func main() {
 	}
 	if *sizesSpec != "" {
 		exp = "sweep"
+	}
+	if *wireMode {
+		exp = "wire"
+	}
+	if exp == "wire" {
+		if err := wireExperiment(*wireOut, *wireCount); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(exp, *nmax, *step, *batch, *bits, *seed, *events, *proto, *obsOut, *sizesSpec, *rekeyOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -195,6 +218,54 @@ func sweepExperiment(sizesSpec string, batch int, proto, rekeyOut string) error 
 			return err
 		}
 		fmt.Printf("wrote %s\n", rekeyOut)
+	}
+	return nil
+}
+
+// wireExperiment runs the data-plane sweep behind BENCH_wire.json: the
+// per-kind wire-codec microbenchmark (binary codec vs legacy gob) and the
+// end-to-end message-latency-vs-size sweep over a live 2-member secure
+// group, mirroring the paper's message-latency figure.
+func wireExperiment(wireOut string, count int) error {
+	fmt.Println("== wire codec microbench (per kind, codec vs gob) ==")
+	stats := spread.MeasureWireCodec(2000)
+	out := analyze.WireBench{}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\tbytes codec\tbytes gob\tenc codec\tenc gob\tdec codec\tdec gob")
+	for _, s := range stats {
+		out.Codec = append(out.Codec, analyze.WireCodecPoint{
+			Kind: s.Kind, CodecBytes: s.CodecBytes, GobBytes: s.GobBytes,
+			CodecEncNs: s.CodecEncNs, GobEncNs: s.GobEncNs,
+			CodecDecNs: s.CodecDecNs, GobDecNs: s.GobDecNs,
+		})
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0fns\t%.0fns\t%.0fns\t%.0fns\n",
+			s.Kind, s.CodecBytes, s.GobBytes, s.CodecEncNs, s.GobEncNs, s.CodecDecNs, s.GobDecNs)
+	}
+	tw.Flush()
+
+	// 1 B to 100 KB, the span of the paper's message-latency figure.
+	sizes := []int{1, 100, 1000, 10000, 100000}
+	suite := securespread.SuiteBlowfish // the paper's bulk cipher
+	fmt.Printf("\n== message latency vs size (%s, %d msgs/size) ==\n", suite, count)
+	lats, err := bench.MeasureWireLatencySweep(suite, sizes, count)
+	if err != nil {
+		return fmt.Errorf("wire latency sweep: %w", err)
+	}
+	fmt.Fprintln(tw, "size\tp50\tmean\tmax")
+	for _, l := range lats {
+		out.Latency = append(out.Latency, analyze.WireLatencyPoint{
+			Suite: l.Suite, Size: l.Size, Count: l.Count,
+			P50Ms: l.P50Ms, MeanMs: l.MeanMs, MaxMs: l.MaxMs,
+		})
+		fmt.Fprintf(tw, "%dB\t%.2fms\t%.2fms\t%.2fms\n", l.Size, l.P50Ms, l.MeanMs, l.MaxMs)
+	}
+	tw.Flush()
+
+	if wireOut != "" {
+		if err := bench.WriteJSON(wireOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", wireOut)
 	}
 	return nil
 }

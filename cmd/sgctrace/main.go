@@ -14,9 +14,11 @@
 // recorded as unhealthy rather than failing the collection. report accepts
 // a bundle, a raw /trace payload (or bare event array), or a BENCH_rekey.json
 // sweep file, and prints the per-class/per-size phase decomposition, the
-// correlated rekeys, and any anomalies. diff compares two BENCH_rekey.json
-// files and exits nonzero when a tracked metric regressed — deterministic
-// exponentiation counts exactly, timings by a generous ratio.
+// correlated rekeys, and any anomalies. diff compares two bench files of
+// the same kind — BENCH_rekey.json rekey sweeps or BENCH_wire.json wire
+// sweeps — and exits nonzero when a tracked metric regressed: deterministic
+// counts (exponentiations, encoded frame sizes) exactly, timings by a
+// generous ratio with noise floors.
 package main
 
 import (
@@ -328,7 +330,15 @@ func diffFiles(w io.Writer, oldPath, newPath string, opt analyze.DiffOptions) ([
 	if err != nil {
 		return nil, err
 	}
-	regs := analyze.DiffBench(oldB, newB, opt)
+	var regs []analyze.Regression
+	switch {
+	case oldB.rekey != nil && newB.rekey != nil:
+		regs = analyze.DiffBench(oldB.rekey, newB.rekey, opt)
+	case oldB.wire != nil && newB.wire != nil:
+		regs = analyze.DiffWireBench(oldB.wire, newB.wire, opt)
+	default:
+		return nil, fmt.Errorf("diff: %s and %s are different bench kinds", oldPath, newPath)
+	}
 	if len(regs) == 0 {
 		fmt.Fprintf(w, "ok: no regressions (%s vs %s)\n", newPath, oldPath)
 		return nil, nil
@@ -340,17 +350,35 @@ func diffFiles(w io.Writer, oldPath, newPath string, opt analyze.DiffOptions) ([
 	return regs, nil
 }
 
-func loadBench(path string) (*analyze.RekeyBench, error) {
+// benchFile is either sweep schema the diff gate accepts: the rekey
+// phase-decomposition file or the data-plane wire file.
+type benchFile struct {
+	rekey *analyze.RekeyBench
+	wire  *analyze.WireBench
+}
+
+func loadBench(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var b analyze.RekeyBench
-	if err := json.Unmarshal(data, &b); err != nil {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Protocols == nil {
-		return nil, fmt.Errorf("%s: not a BENCH_rekey.json sweep file", path)
+	switch {
+	case probe["protocols"] != nil:
+		var b analyze.RekeyBench
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &benchFile{rekey: &b}, nil
+	case probe["codec"] != nil || probe["latency"] != nil:
+		var b analyze.WireBench
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &benchFile{wire: &b}, nil
 	}
-	return &b, nil
+	return nil, fmt.Errorf("%s: not a BENCH_rekey.json or BENCH_wire.json sweep file", path)
 }

@@ -1,0 +1,93 @@
+package ckd
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/wirecodec"
+)
+
+func randCkdBig(r *rand.Rand) *big.Int {
+	return new(big.Int).Rand(r, new(big.Int).Lsh(big.NewInt(1), 512))
+}
+
+func randCkdName(r *rand.Rand) string {
+	b := make([]byte, 1+r.Intn(8))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func randCkdNames(r *rand.Rand) []string {
+	out := make([]string, 1+r.Intn(4))
+	for i := range out {
+		out[i] = randCkdName(r)
+	}
+	return out
+}
+
+func randCkdMAC(r *rand.Rand) []byte {
+	b := make([]byte, 32)
+	r.Read(b)
+	return b
+}
+
+// TestBodyCodecGobDifferential round-trips every ckd protocol body through
+// the binary codec and the legacy gob path and requires agreement.
+func TestBodyCodecGobDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		entries := make(map[string]*big.Int)
+		macs := make(map[string][]byte)
+		for j, n := 0, 1+r.Intn(4); j < n; j++ {
+			name := randCkdName(r)
+			entries[name] = randCkdBig(r)
+			macs[name] = randCkdMAC(r)
+		}
+		bodies := []any{
+			&helloBody{
+				Members: randCkdNames(r), GR1: randCkdBig(r), SenderPub: randCkdBig(r),
+				TargetEpoch: r.Uint64() >> 8, MAC: randCkdMAC(r),
+			},
+			&respBody{
+				Blinded: randCkdBig(r), SenderPub: randCkdBig(r),
+				TargetEpoch: r.Uint64() >> 8, MAC: randCkdMAC(r),
+			},
+			&keyDistBody{
+				Members: randCkdNames(r), Left: randCkdNames(r),
+				Entries: entries, EntryMACs: macs,
+				SenderPub: randCkdBig(r), TargetEpoch: r.Uint64() >> 8,
+			},
+		}
+		for _, body := range bodies {
+			cenc, err := encodeBody(body)
+			if err != nil {
+				t.Fatalf("codec encode %T: %v", body, err)
+			}
+			if !wirecodec.IsCodec(cenc) {
+				t.Fatalf("%T encoding missing codec preamble", body)
+			}
+			genc, err := encodeBodyGob(body)
+			if err != nil {
+				t.Fatalf("gob encode %T: %v", body, err)
+			}
+			cgot := reflect.New(reflect.TypeOf(body).Elem()).Interface()
+			if err := decodeBody(cenc, cgot); err != nil {
+				t.Fatalf("codec decode %T: %v", body, err)
+			}
+			ggot := reflect.New(reflect.TypeOf(body).Elem()).Interface()
+			if err := decodeBody(genc, ggot); err != nil {
+				t.Fatalf("gob fallback decode %T: %v", body, err)
+			}
+			if !reflect.DeepEqual(cgot, body) {
+				t.Fatalf("%T codec round trip diverged:\nin:  %#v\nout: %#v", body, body, cgot)
+			}
+			if !reflect.DeepEqual(cgot, ggot) {
+				t.Fatalf("%T codec and gob decode disagree:\ncodec: %#v\ngob:   %#v", body, cgot, ggot)
+			}
+		}
+	}
+}

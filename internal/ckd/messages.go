@@ -8,6 +8,7 @@ import (
 	"math/big"
 
 	"repro/internal/kga/auth"
+	"repro/internal/wirecodec"
 )
 
 type helloBody struct {
@@ -53,7 +54,71 @@ func eMACKey(e *big.Int) []byte {
 	return h[:]
 }
 
+// encodeBody writes a protocol body with the binary wire codec; decodeBody
+// keeps a gob fallback for frames from older builds. The body type is
+// implied by kga.Message.Type; MACs are computed over auth.Canon forms,
+// never over encodings.
 func encodeBody(v any) ([]byte, error) {
+	b := wirecodec.AppendPreamble(nil)
+	switch body := v.(type) {
+	case *helloBody:
+		b = wirecodec.AppendStrings(b, body.Members)
+		b = wirecodec.AppendBigInt(b, body.GR1)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+		b = wirecodec.AppendBytes(b, body.MAC)
+	case *respBody:
+		b = wirecodec.AppendBigInt(b, body.Blinded)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+		b = wirecodec.AppendBytes(b, body.MAC)
+	case *keyDistBody:
+		b = wirecodec.AppendStrings(b, body.Members)
+		b = wirecodec.AppendStrings(b, body.Left)
+		b = wirecodec.AppendBigIntMap(b, body.Entries)
+		b = wirecodec.AppendBytesMap(b, body.EntryMACs)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+	default:
+		return encodeBodyGob(v)
+	}
+	return b, nil
+}
+
+func decodeBody(data []byte, v any) error {
+	if !wirecodec.IsCodec(data) {
+		return decodeBodyGob(data, v)
+	}
+	d := wirecodec.NewDec(data)
+	switch body := v.(type) {
+	case *helloBody:
+		body.Members = d.Strings()
+		body.GR1 = d.BigInt()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+		body.MAC = d.Bytes()
+	case *respBody:
+		body.Blinded = d.BigInt()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+		body.MAC = d.Bytes()
+	case *keyDistBody:
+		body.Members = d.Strings()
+		body.Left = d.Strings()
+		body.Entries = d.BigIntMap()
+		body.EntryMACs = d.BytesMap()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+	default:
+		return fmt.Errorf("decode ckd body: unsupported type %T", v)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("decode ckd body: %w", err)
+	}
+	return nil
+}
+
+func encodeBodyGob(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("encode ckd body: %w", err)
@@ -61,7 +126,7 @@ func encodeBody(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func decodeBody(data []byte, v any) error {
+func decodeBodyGob(data []byte, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
 		return fmt.Errorf("decode ckd body: %w", err)
 	}

@@ -1,0 +1,118 @@
+package cliques
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/wirecodec"
+)
+
+func randBig(r *rand.Rand) *big.Int {
+	return new(big.Int).Rand(r, new(big.Int).Lsh(big.NewInt(1), 512))
+}
+
+func randName(r *rand.Rand) string {
+	b := make([]byte, 1+r.Intn(8))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func randNames(r *rand.Rand) []string {
+	out := make([]string, 1+r.Intn(4))
+	for i := range out {
+		out[i] = randName(r)
+	}
+	return out
+}
+
+func randMAC(r *rand.Rand) []byte {
+	b := make([]byte, 32)
+	r.Read(b)
+	return b
+}
+
+func randBigMap(r *rand.Rand) map[string]*big.Int {
+	m := make(map[string]*big.Int)
+	for i, n := 0, 1+r.Intn(4); i < n; i++ {
+		m[randName(r)] = randBig(r)
+	}
+	return m
+}
+
+func randMACMap(r *rand.Rand) map[string][]byte {
+	m := make(map[string][]byte)
+	for i, n := 0, 1+r.Intn(4); i < n; i++ {
+		m[randName(r)] = randMAC(r)
+	}
+	return m
+}
+
+// TestBodyCodecGobDifferential round-trips every cliques protocol body
+// through the binary codec and the legacy gob path and requires the decoded
+// values to agree — including the gob fallback accepting gob frames.
+func TestBodyCodecGobDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		bodies := []any{
+			&joinSeedBody{
+				OldMembers: randNames(r), Joiner: randName(r), Partials: randBigMap(r),
+				PNew: randBig(r), SenderPub: randBig(r), TargetEpoch: r.Uint64() >> 8, MAC: randMAC(r),
+			},
+			&joinBcastBody{
+				Members: randNames(r), Entries: randBigMap(r), EntryMACs: randMACMap(r),
+				SenderPub: randBig(r), TargetEpoch: r.Uint64() >> 8,
+			},
+			&leaveBcastBody{
+				Members: randNames(r), Left: randNames(r), Refresh: r.Intn(2) == 0,
+				Entries: randBigMap(r), EntryMACs: randMACMap(r),
+				TargetEpoch: r.Uint64() >> 8, MAC: randMAC(r),
+			},
+			&mergeChainBody{
+				Members: randNames(r), Merged: randNames(r), Pos: r.Intn(10),
+				U: randBig(r), SenderPub: randBig(r), TargetEpoch: r.Uint64() >> 8, MAC: randMAC(r),
+			},
+			&mergeFactorReqBody{
+				Members: randNames(r), Merged: randNames(r), U: randBig(r),
+				SenderPub: randBig(r), TargetEpoch: r.Uint64() >> 8, MACs: randMACMap(r),
+			},
+			&mergeFactorRespBody{
+				W: randBig(r), SenderPub: randBig(r), TargetEpoch: r.Uint64() >> 8, MAC: randMAC(r),
+			},
+			&mergeBcastBody{
+				Members: randNames(r), Entries: randBigMap(r), EntryMACs: randMACMap(r),
+				SenderPub: randBig(r), TargetEpoch: r.Uint64() >> 8,
+			},
+		}
+		for _, body := range bodies {
+			cenc, err := encodeBody(body)
+			if err != nil {
+				t.Fatalf("codec encode %T: %v", body, err)
+			}
+			if !wirecodec.IsCodec(cenc) {
+				t.Fatalf("%T encoding missing codec preamble", body)
+			}
+			genc, err := encodeBodyGob(body)
+			if err != nil {
+				t.Fatalf("gob encode %T: %v", body, err)
+			}
+			cgot := reflect.New(reflect.TypeOf(body).Elem()).Interface()
+			if err := decodeBody(cenc, cgot); err != nil {
+				t.Fatalf("codec decode %T: %v", body, err)
+			}
+			ggot := reflect.New(reflect.TypeOf(body).Elem()).Interface()
+			if err := decodeBody(genc, ggot); err != nil {
+				t.Fatalf("gob fallback decode %T: %v", body, err)
+			}
+			if !reflect.DeepEqual(cgot, body) {
+				t.Fatalf("%T codec round trip diverged:\nin:  %#v\nout: %#v", body, body, cgot)
+			}
+			if !reflect.DeepEqual(cgot, ggot) {
+				t.Fatalf("%T codec and gob decode disagree:\ncodec: %#v\ngob:   %#v", body, cgot, ggot)
+			}
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+
+	"repro/internal/wirecodec"
 )
 
 // ProtoName is the registered protocol name of the Cliques module.
@@ -99,7 +101,132 @@ type mergeBcastBody struct {
 	TargetEpoch uint64
 }
 
+// encodeBody writes a protocol body with the binary wire codec; decodeBody
+// keeps a gob fallback for frames from older builds. The body type is
+// implied by kga.Message.Type, so no tag travels. MACs are computed over
+// canon(), never over encodings, so the codec swap cannot break
+// authentication.
 func encodeBody(v any) ([]byte, error) {
+	b := wirecodec.AppendPreamble(nil)
+	switch body := v.(type) {
+	case *joinSeedBody:
+		b = wirecodec.AppendStrings(b, body.OldMembers)
+		b = wirecodec.AppendString(b, body.Joiner)
+		b = wirecodec.AppendBigIntMap(b, body.Partials)
+		b = wirecodec.AppendBigInt(b, body.PNew)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+		b = wirecodec.AppendBytes(b, body.MAC)
+	case *joinBcastBody:
+		b = wirecodec.AppendStrings(b, body.Members)
+		b = wirecodec.AppendBigIntMap(b, body.Entries)
+		b = wirecodec.AppendBytesMap(b, body.EntryMACs)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+	case *leaveBcastBody:
+		b = wirecodec.AppendStrings(b, body.Members)
+		b = wirecodec.AppendStrings(b, body.Left)
+		b = wirecodec.AppendBool(b, body.Refresh)
+		b = wirecodec.AppendBigIntMap(b, body.Entries)
+		b = wirecodec.AppendBytesMap(b, body.EntryMACs)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+		b = wirecodec.AppendBytes(b, body.MAC)
+	case *mergeChainBody:
+		b = wirecodec.AppendStrings(b, body.Members)
+		b = wirecodec.AppendStrings(b, body.Merged)
+		b = wirecodec.AppendInt(b, int64(body.Pos))
+		b = wirecodec.AppendBigInt(b, body.U)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+		b = wirecodec.AppendBytes(b, body.MAC)
+	case *mergeFactorReqBody:
+		b = wirecodec.AppendStrings(b, body.Members)
+		b = wirecodec.AppendStrings(b, body.Merged)
+		b = wirecodec.AppendBigInt(b, body.U)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+		b = wirecodec.AppendBytesMap(b, body.MACs)
+	case *mergeFactorRespBody:
+		b = wirecodec.AppendBigInt(b, body.W)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+		b = wirecodec.AppendBytes(b, body.MAC)
+	case *mergeBcastBody:
+		b = wirecodec.AppendStrings(b, body.Members)
+		b = wirecodec.AppendBigIntMap(b, body.Entries)
+		b = wirecodec.AppendBytesMap(b, body.EntryMACs)
+		b = wirecodec.AppendBigInt(b, body.SenderPub)
+		b = wirecodec.AppendUvarint(b, body.TargetEpoch)
+	default:
+		return encodeBodyGob(v)
+	}
+	return b, nil
+}
+
+func decodeBody(data []byte, v any) error {
+	if !wirecodec.IsCodec(data) {
+		return decodeBodyGob(data, v)
+	}
+	d := wirecodec.NewDec(data)
+	switch body := v.(type) {
+	case *joinSeedBody:
+		body.OldMembers = d.Strings()
+		body.Joiner = d.String()
+		body.Partials = d.BigIntMap()
+		body.PNew = d.BigInt()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+		body.MAC = d.Bytes()
+	case *joinBcastBody:
+		body.Members = d.Strings()
+		body.Entries = d.BigIntMap()
+		body.EntryMACs = d.BytesMap()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+	case *leaveBcastBody:
+		body.Members = d.Strings()
+		body.Left = d.Strings()
+		body.Refresh = d.Bool()
+		body.Entries = d.BigIntMap()
+		body.EntryMACs = d.BytesMap()
+		body.TargetEpoch = d.Uvarint()
+		body.MAC = d.Bytes()
+	case *mergeChainBody:
+		body.Members = d.Strings()
+		body.Merged = d.Strings()
+		body.Pos = int(d.Int())
+		body.U = d.BigInt()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+		body.MAC = d.Bytes()
+	case *mergeFactorReqBody:
+		body.Members = d.Strings()
+		body.Merged = d.Strings()
+		body.U = d.BigInt()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+		body.MACs = d.BytesMap()
+	case *mergeFactorRespBody:
+		body.W = d.BigInt()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+		body.MAC = d.Bytes()
+	case *mergeBcastBody:
+		body.Members = d.Strings()
+		body.Entries = d.BigIntMap()
+		body.EntryMACs = d.BytesMap()
+		body.SenderPub = d.BigInt()
+		body.TargetEpoch = d.Uvarint()
+	default:
+		return fmt.Errorf("decode cliques body: unsupported type %T", v)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("decode cliques body: %w", err)
+	}
+	return nil
+}
+
+func encodeBodyGob(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("encode cliques body: %w", err)
@@ -107,7 +234,7 @@ func encodeBody(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func decodeBody(data []byte, v any) error {
+func decodeBodyGob(data []byte, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
 		return fmt.Errorf("decode cliques body: %w", err)
 	}

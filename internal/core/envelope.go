@@ -8,6 +8,7 @@ import (
 	"math/big"
 
 	"repro/internal/kga"
+	"repro/internal/wirecodec"
 )
 
 // Envelope kinds carried inside flush-layer data messages.
@@ -51,20 +52,70 @@ type announceBody struct {
 	Proto string
 }
 
+// encodeEnvelope uses the binary wire codec; decodeEnvelope falls back to
+// gob for frames produced by older builds (version dispatch on the first
+// byte, see internal/wirecodec).
 func encodeEnvelope(e *envelope) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
-		return nil, fmt.Errorf("encode secure envelope: %w", err)
+	b := wirecodec.AppendPreamble(nil)
+	b = wirecodec.AppendInt(b, int64(e.Kind))
+	if e.Ann == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = wirecodec.AppendString(b, e.Ann.Name)
+		b = wirecodec.AppendBigInt(b, e.Ann.Pub)
+		b = wirecodec.AppendUvarint(b, e.Ann.Epoch)
+		b = wirecodec.AppendBytes(b, e.Ann.Digest)
+		b = wirecodec.AppendStrings(b, e.Ann.Members)
+		b = wirecodec.AppendString(b, e.Ann.Proto)
 	}
-	return buf.Bytes(), nil
+	b = wirecodec.AppendKGAMessage(b, e.KGA)
+	b = wirecodec.AppendUvarint(b, e.Epoch)
+	b = wirecodec.AppendBytes(b, e.Frame)
+	return b, nil
 }
 
 func decodeEnvelope(data []byte) (*envelope, error) {
+	if !wirecodec.IsCodec(data) {
+		return decodeEnvelopeGob(data)
+	}
+	d := wirecodec.NewDec(data)
+	e := &envelope{Kind: int(d.Int())}
+	if d.Bool() {
+		ann := &announceBody{}
+		ann.Name = d.String()
+		ann.Pub = d.BigInt()
+		ann.Epoch = d.Uvarint()
+		ann.Digest = d.Bytes()
+		ann.Members = d.Strings()
+		ann.Proto = d.String()
+		e.Ann = ann
+	}
+	e.KGA = d.KGAMessage()
+	e.Epoch = d.Uvarint()
+	e.Frame = d.Bytes()
+	if err := d.Close(); err != nil {
+		return nil, fmt.Errorf("decode secure envelope: %w", err)
+	}
+	return e, nil
+}
+
+func decodeEnvelopeGob(data []byte) (*envelope, error) {
 	var e envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
 		return nil, fmt.Errorf("decode secure envelope: %w", err)
 	}
 	return &e, nil
+}
+
+// encodeEnvelopeGob is kept for the differential tests pinning codec/gob
+// semantic equivalence.
+func encodeEnvelopeGob(e *envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("encode secure envelope: %w", err)
+	}
+	return buf.Bytes(), nil
 }
 
 // keyDigest is the key-confirmation value exchanged in announcements: it

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 
@@ -52,6 +53,28 @@ type Suite interface {
 	Open(frame []byte) ([]byte, error)
 	// Overhead returns the maximum bytes added to a plaintext by Seal.
 	Overhead() int
+}
+
+// AppendSealer is the allocation-free variant of Seal: the sealed frame is
+// appended into dst's spare capacity (a pooled buffer on the data plane),
+// so seal -> encode -> send reuses one buffer instead of allocating and
+// copying at every hop. All built-in suites implement it; third-party
+// suites may not, so callers go through the SealAppend helper.
+type AppendSealer interface {
+	SealAppend(dst, plaintext []byte) ([]byte, error)
+}
+
+// SealAppend appends the sealed frame for plaintext to dst, using the
+// suite's append fast path when available and Seal plus a copy otherwise.
+func SealAppend(s Suite, dst, plaintext []byte) ([]byte, error) {
+	if as, ok := s.(AppendSealer); ok {
+		return as.SealAppend(dst, plaintext)
+	}
+	frame, err := s.Seal(plaintext)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, frame...), nil
 }
 
 // Constructor builds a Suite from key material. The registry hands each
@@ -157,24 +180,32 @@ func (s *cbcSuite) Overhead() int {
 }
 
 func (s *cbcSuite) Seal(plaintext []byte) ([]byte, error) {
+	// One allocation: SealAppend grows nil to the exact frame size and
+	// MACs into its spare capacity.
+	return s.SealAppend(nil, plaintext)
+}
+
+// SealAppend implements AppendSealer: the frame is built in dst's spare
+// capacity, allocating only if dst is too small.
+func (s *cbcSuite) SealAppend(dst, plaintext []byte) ([]byte, error) {
 	bs := s.block.BlockSize()
 	padN := bs - len(plaintext)%bs
 	bodyLen := bs + len(plaintext) + padN
-	// One allocation: the returned frame, padded in place and MACed into
-	// its spare capacity.
-	frame := make([]byte, bodyLen, bodyLen+macSize)
+	dst = slices.Grow(dst, bodyLen+macSize)
+	frame := dst[len(dst) : len(dst)+bodyLen]
+	dst = dst[:len(dst)+bodyLen]
 	iv := frame[:bs]
 	if _, err := rand.Read(iv); err != nil {
 		return nil, fmt.Errorf("draw iv: %w", err)
 	}
-	padded := frame[bs:bodyLen]
+	padded := frame[bs:]
 	copy(padded, plaintext)
 	for i := len(plaintext); i < len(padded); i++ {
 		padded[i] = byte(padN)
 	}
 	cipher.NewCBCEncrypter(s.block, iv).CryptBlocks(padded, padded)
 	countSeal(len(plaintext))
-	return s.mac.appendTag(frame), nil
+	return s.mac.sumAppend(dst, frame), nil
 }
 
 func (s *cbcSuite) Open(frame []byte) ([]byte, error) {
@@ -225,16 +256,23 @@ func (s *ctrSuite) Name() string { return SuiteAESCTR }
 func (s *ctrSuite) Overhead() int { return s.block.BlockSize() + macSize }
 
 func (s *ctrSuite) Seal(plaintext []byte) ([]byte, error) {
+	return s.SealAppend(nil, plaintext)
+}
+
+// SealAppend implements AppendSealer.
+func (s *ctrSuite) SealAppend(dst, plaintext []byte) ([]byte, error) {
 	bs := s.block.BlockSize()
 	bodyLen := bs + len(plaintext)
-	frame := make([]byte, bodyLen, bodyLen+macSize)
+	dst = slices.Grow(dst, bodyLen+macSize)
+	frame := dst[len(dst) : len(dst)+bodyLen]
+	dst = dst[:len(dst)+bodyLen]
 	iv := frame[:bs]
 	if _, err := rand.Read(iv); err != nil {
 		return nil, fmt.Errorf("draw iv: %w", err)
 	}
-	cipher.NewCTR(s.block, iv).XORKeyStream(frame[bs:bodyLen], plaintext)
+	cipher.NewCTR(s.block, iv).XORKeyStream(frame[bs:], plaintext)
 	countSeal(len(plaintext))
-	return s.mac.appendTag(frame), nil
+	return s.mac.sumAppend(dst, frame), nil
 }
 
 func (s *ctrSuite) Open(frame []byte) ([]byte, error) {
@@ -273,10 +311,16 @@ func (s *nullSuite) Name() string  { return SuiteNull }
 func (s *nullSuite) Overhead() int { return macSize }
 
 func (s *nullSuite) Seal(plaintext []byte) ([]byte, error) {
-	frame := make([]byte, 0, len(plaintext)+macSize)
-	frame = append(frame, plaintext...)
+	return s.SealAppend(nil, plaintext)
+}
+
+// SealAppend implements AppendSealer.
+func (s *nullSuite) SealAppend(dst, plaintext []byte) ([]byte, error) {
+	dst = slices.Grow(dst, len(plaintext)+macSize)
+	off := len(dst)
+	dst = append(dst, plaintext...)
 	countSeal(len(plaintext))
-	return s.mac.appendTag(frame), nil
+	return s.mac.sumAppend(dst, dst[off:]), nil
 }
 
 func (s *nullSuite) Open(frame []byte) ([]byte, error) {

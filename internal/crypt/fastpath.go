@@ -59,11 +59,18 @@ func (p *macPool) put(m hash.Hash) {
 // appendTag appends the HMAC tag over frame to frame (which must have
 // macSize spare capacity to stay allocation-free).
 func (p *macPool) appendTag(frame []byte) []byte {
+	return p.sumAppend(frame, frame)
+}
+
+// sumAppend appends the HMAC tag over body to dst (which must have macSize
+// spare capacity to stay allocation-free). body is typically a tail region
+// of dst, as in the SealAppend fast paths.
+func (p *macPool) sumAppend(dst, body []byte) []byte {
 	m := p.get()
-	m.Write(frame)
-	frame = m.Sum(frame)
+	m.Write(body)
+	dst = m.Sum(dst)
 	p.put(m)
-	return frame
+	return dst
 }
 
 // verify checks tag over body in constant time without allocating.

@@ -1,0 +1,76 @@
+package flush
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/spread"
+	"repro/internal/wirecodec"
+)
+
+// TestFlushMsgCodecGobDifferential pins the binary codec as a drop-in
+// semantic replacement for gob on the flush layer's wire message, and that
+// legacy gob frames still decode through the fallback.
+func TestFlushMsgCodecGobDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		m := &flushMsg{
+			Kind: 1 + r.Intn(2),
+			View: spread.GroupViewID{
+				DaemonView: spread.ViewID{Epoch: r.Uint64() >> uint(r.Intn(64)), Coord: "d0"},
+				Seq:        r.Uint64() >> uint(r.Intn(64)),
+			},
+			Service: spread.Service(r.Intn(4)),
+		}
+		if r.Intn(3) > 0 {
+			m.Data = make([]byte, 1+r.Intn(100))
+			r.Read(m.Data)
+		}
+		cenc, err := encodeMsg(m)
+		if err != nil {
+			t.Fatalf("#%d: codec encode: %v", i, err)
+		}
+		if !wirecodec.IsCodec(cenc) {
+			t.Fatalf("#%d: flush encoding missing codec preamble", i)
+		}
+		genc, err := encodeMsgGob(m)
+		if err != nil {
+			t.Fatalf("#%d: gob encode: %v", i, err)
+		}
+		cm, err := decodeMsg(cenc)
+		if err != nil {
+			t.Fatalf("#%d: codec decode: %v", i, err)
+		}
+		gm, err := decodeMsg(genc)
+		if err != nil {
+			t.Fatalf("#%d: gob fallback decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(cm, m) {
+			t.Fatalf("#%d: codec round trip diverged:\nin:  %#v\nout: %#v", i, m, cm)
+		}
+		if !reflect.DeepEqual(cm, gm) {
+			t.Fatalf("#%d: codec and gob decode disagree:\ncodec: %#v\ngob:   %#v", i, cm, gm)
+		}
+	}
+}
+
+// TestFlushMsgCodecTruncation: every truncation of a valid frame fails
+// cleanly (exact-consumption decoding).
+func TestFlushMsgCodecTruncation(t *testing.T) {
+	m := &flushMsg{
+		Kind:    wireData,
+		View:    spread.GroupViewID{DaemonView: spread.ViewID{Epoch: 3, Coord: "d1"}, Seq: 9},
+		Service: spread.Agreed,
+		Data:    []byte("payload"),
+	}
+	enc, err := encodeMsg(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := decodeMsg(enc[:cut]); err == nil {
+			t.Fatalf("truncated flush frame (%d/%d bytes) decoded without error", cut, len(enc))
+		}
+	}
+}

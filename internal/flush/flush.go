@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/spread"
+	"repro/internal/wirecodec"
 )
 
 // Errors returned by the flush layer.
@@ -88,7 +89,39 @@ type flushMsg struct {
 	Data    []byte
 }
 
+// encodeMsg uses the binary wire codec; decodeMsg keeps a gob fallback for
+// frames from older builds (dispatch on the first byte).
 func encodeMsg(m *flushMsg) ([]byte, error) {
+	b := wirecodec.AppendPreamble(nil)
+	b = wirecodec.AppendInt(b, int64(m.Kind))
+	b = wirecodec.AppendUvarint(b, m.View.DaemonView.Epoch)
+	b = wirecodec.AppendString(b, m.View.DaemonView.Coord)
+	b = wirecodec.AppendUvarint(b, m.View.Seq)
+	b = wirecodec.AppendInt(b, int64(m.Service))
+	b = wirecodec.AppendBytes(b, m.Data)
+	return b, nil
+}
+
+func decodeMsg(data []byte) (*flushMsg, error) {
+	if !wirecodec.IsCodec(data) {
+		return decodeMsgGob(data)
+	}
+	d := wirecodec.NewDec(data)
+	m := &flushMsg{}
+	m.Kind = int(d.Int())
+	m.View.DaemonView.Epoch = d.Uvarint()
+	m.View.DaemonView.Coord = d.String()
+	m.View.Seq = d.Uvarint()
+	m.Service = spread.Service(d.Int())
+	m.Data = d.Bytes()
+	if err := d.Close(); err != nil {
+		return nil, fmt.Errorf("decode flush message: %w", err)
+	}
+	return m, nil
+}
+
+// encodeMsgGob is kept for the differential round-trip test.
+func encodeMsgGob(m *flushMsg) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
 		return nil, fmt.Errorf("encode flush message: %w", err)
@@ -96,7 +129,7 @@ func encodeMsg(m *flushMsg) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func decodeMsg(data []byte) (*flushMsg, error) {
+func decodeMsgGob(data []byte) (*flushMsg, error) {
 	var m flushMsg
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("decode flush message: %w", err)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wirecodec"
 )
 
 // Errors returned by the daemon and client API.
@@ -301,7 +302,9 @@ func (d *Daemon) tick() {
 		Stable: d.receiveHorizon(),
 		Seq:    d.seq,
 	}}
-	data, err := encodeWire(hb)
+	// Pooled encode: transports copy on Send, so the buffer recycles as
+	// soon as the fan-out loop finishes.
+	data, err := encodeWireTo(wirecodec.GetBuf(), hb)
 	if err == nil {
 		for _, p := range d.peers {
 			if p != d.name {
@@ -310,6 +313,7 @@ func (d *Daemon) tick() {
 			}
 		}
 	}
+	wirecodec.PutBuf(data)
 
 	// Failure detection: a silent view member triggers a membership
 	// change.
@@ -448,24 +452,27 @@ func (d *Daemon) broadcastData(p payload) {
 		LTS:    d.bumpLTS(),
 		P:      p,
 	}
-	wire, err := encodeWire(&wireMsg{Kind: kindData, Data: m})
+	// One pooled encode of the inner frame; under daemon keying it is
+	// sealed and wrapped in place (secSealEncode) rather than re-encoded,
+	// so the seal→encode→send chain copies the payload once.
+	inner, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m})
 	if err == nil {
-		out := &wireMsg{Kind: kindData, Data: m}
+		enc, kind := inner, kindData
+		var sealed []byte
 		if d.sec != nil && d.sec.suite != nil {
-			if sealed, serr := d.secSeal(wire); serr == nil {
-				out = sealed
+			if sb, serr := d.secSealEncode(inner); serr == nil {
+				sealed, enc, kind = sb, sb, kindSecData
 			}
 		}
-		enc, eerr := encodeWire(out)
-		if eerr == nil {
-			for _, member := range d.view.Members {
-				if member != d.name {
-					d.counters.countSent(out.Kind, len(enc))
-					_ = d.node.Send(member, enc)
-				}
+		for _, member := range d.view.Members {
+			if member != d.name {
+				d.counters.countSent(kind, len(enc))
+				_ = d.node.Send(member, enc)
 			}
 		}
+		wirecodec.PutBuf(sealed)
 	}
+	wirecodec.PutBuf(inner)
 	d.onData(m)
 }
 
@@ -525,8 +532,9 @@ func (d *Daemon) echoHeartbeat() {
 		Stable: d.receiveHorizon(),
 		Seq:    d.seq,
 	}}
-	data, err := encodeWire(hb)
+	data, err := encodeWireTo(wirecodec.GetBuf(), hb)
 	if err != nil {
+		wirecodec.PutBuf(data)
 		return
 	}
 	for _, member := range d.view.Members {
@@ -535,6 +543,7 @@ func (d *Daemon) echoHeartbeat() {
 			_ = d.node.Send(member, data)
 		}
 	}
+	wirecodec.PutBuf(data)
 }
 
 // acceptData inserts a message into the pending structures (idempotent).
@@ -655,23 +664,23 @@ func (d *Daemon) onNack(from string, n *nackMsg) {
 // resendData re-sends one data message to a single daemon, sealed exactly
 // like the original broadcast when daemon keying is on.
 func (d *Daemon) resendData(to string, m *dataMsg) {
-	wire, err := encodeWire(&wireMsg{Kind: kindData, Data: m})
+	inner, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m})
 	if err != nil {
+		wirecodec.PutBuf(inner)
 		return
 	}
-	out := &wireMsg{Kind: kindData, Data: m}
+	enc, kind := inner, kindData
+	var sealed []byte
 	if d.sec != nil && d.sec.suite != nil {
-		if sealed, serr := d.secSeal(wire); serr == nil {
-			out = sealed
+		if sb, serr := d.secSealEncode(inner); serr == nil {
+			sealed, enc, kind = sb, sb, kindSecData
 		}
 	}
-	enc, err := encodeWire(out)
-	if err != nil {
-		return
-	}
 	d.counters.msgsRetransmitted.Inc()
-	d.counters.countSent(out.Kind, len(enc))
+	d.counters.countSent(kind, len(enc))
 	_ = d.node.Send(to, enc)
+	wirecodec.PutBuf(sealed)
+	wirecodec.PutBuf(inner)
 }
 
 // tryDeliver delivers every message whose ordering constraints are met:

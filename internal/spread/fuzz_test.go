@@ -51,13 +51,19 @@ func corpusWire(t testing.TB) [][]byte {
 		}},
 		{Kind: kindNack, Nack: &nackMsg{View: v, Sender: "d01", From: 2, To: 5}},
 	}
+	// Each message seeds both encodings: the binary codec (the default
+	// path) and legacy gob (the fallback path old corpora exercise).
 	var out [][]byte
 	for _, m := range msgs {
 		enc, err := encodeWire(m)
 		if err != nil {
 			t.Fatalf("encode corpus message kind %d: %v", m.Kind, err)
 		}
-		out = append(out, enc)
+		genc, err := encodeWireGob(m)
+		if err != nil {
+			t.Fatalf("gob-encode corpus message kind %d: %v", m.Kind, err)
+		}
+		out = append(out, enc, genc)
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wirecodec"
 )
 
 // The daemon membership protocol is a coordinator-based view agreement:
@@ -95,12 +96,14 @@ func (d *Daemon) startForming() {
 }
 
 func (d *Daemon) sendTo(to string, m *wireMsg) {
-	data, err := encodeWire(m)
+	data, err := encodeWireTo(wirecodec.GetBuf(), m)
 	if err != nil {
+		wirecodec.PutBuf(data)
 		return
 	}
 	d.counters.countSent(m.Kind, len(data))
 	_ = d.node.Send(to, data)
+	wirecodec.PutBuf(data)
 }
 
 // formingTimers advances the membership protocol on each tick.
@@ -188,11 +191,15 @@ func (d *Daemon) makeSyncAck() *syncAckMsg {
 	ack := &syncAckMsg{Round: d.form.round, OldView: d.view.ID}
 	add := func(m *dataMsg) {
 		if d.sec != nil && d.sec.ready && d.sec.suite != nil {
-			enc, err := encodeWire(&wireMsg{Kind: kindData, Data: m})
+			enc, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m})
 			if err != nil {
+				wirecodec.PutBuf(enc)
 				return
 			}
+			// The sealed frame escapes into the ack, so only the inner
+			// encoding recycles.
 			frame, err := d.sec.suite.Seal(enc)
+			wirecodec.PutBuf(enc)
 			if err != nil {
 				return
 			}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/dh"
 	"repro/internal/kga"
+	"repro/internal/wirecodec"
 )
 
 // errorsIsRetry reports a "not ready yet" key agreement error.
@@ -132,15 +133,18 @@ func (d *Daemon) secReset() {
 }
 
 func (d *Daemon) secSendAll(kind msgKind, body *secMsg) {
-	data, err := encodeWire(&wireMsg{Kind: kind, Sec: body})
+	data, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kind, Sec: body})
 	if err != nil {
+		wirecodec.PutBuf(data)
 		return
 	}
 	for _, m := range d.view.Members {
 		if m != d.name {
+			d.counters.countSent(kind, len(data))
 			_ = d.node.Send(m, data)
 		}
 	}
+	wirecodec.PutBuf(data)
 }
 
 // onSecAnnounce collects a member's long-term key; when all view members
@@ -199,19 +203,24 @@ func (d *Daemon) secDrive() {
 func (d *Daemon) secTransmit(msgs []kga.Message) {
 	for _, m := range msgs {
 		body := &secMsg{View: d.view.ID, KGA: &m}
-		data, err := encodeWire(&wireMsg{Kind: kindSecKGA, Sec: body})
+		data, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindSecKGA, Sec: body})
 		if err != nil {
+			wirecodec.PutBuf(data)
 			continue
 		}
 		if m.To != "" {
+			d.counters.countSent(kindSecKGA, len(data))
 			_ = d.node.Send(m.To, data)
+			wirecodec.PutBuf(data)
 			continue
 		}
 		for _, member := range d.view.Members {
 			if member != d.name {
+				d.counters.countSent(kindSecKGA, len(data))
 				_ = d.node.Send(member, data)
 			}
 		}
+		wirecodec.PutBuf(data)
 	}
 }
 
@@ -304,18 +313,30 @@ func (d *Daemon) drainHeld() {
 	}
 }
 
-// secSeal encrypts an encoded data message under the daemon-group key.
-func (d *Daemon) secSeal(encoded []byte) (*wireMsg, error) {
+// secSealEncode encrypts an encoded data message under the daemon-group
+// key and encodes the resulting kindSecData envelope. Both the sealed
+// frame and the returned encoding live in pooled buffers: the frame is
+// recycled here, the returned slice by the caller once the transport has
+// copied it (Send copies synchronously on every transport).
+func (d *Daemon) secSealEncode(encoded []byte) ([]byte, error) {
 	s := d.sec
-	frame, err := s.suite.Seal(encoded)
+	frameBuf := wirecodec.GetBuf()
+	frame, err := crypt.SealAppend(s.suite, frameBuf, encoded)
 	if err != nil {
+		wirecodec.PutBuf(frameBuf)
 		return nil, err
 	}
-	return &wireMsg{Kind: kindSecData, Sec: &secMsg{
+	enc, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindSecData, Sec: &secMsg{
 		View:  d.view.ID,
 		Epoch: s.key.Epoch,
 		Frame: frame,
-	}}, nil
+	}})
+	wirecodec.PutBuf(frame)
+	if err != nil {
+		wirecodec.PutBuf(enc)
+		return nil, err
+	}
+	return enc, nil
 }
 
 // onSecData decrypts an encrypted data frame and feeds the inner message

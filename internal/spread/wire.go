@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"repro/internal/wirecodec"
 )
 
 // Daemon wire message kinds.
@@ -207,7 +209,25 @@ type installMsg struct {
 	RecoveredSealed map[ViewID][]sealedData
 }
 
+// encodeWire encodes a daemon wire message. The steady-state path is the
+// hand-rolled binary codec in wirecodec.go; messages it cannot represent
+// (unknown kinds from a future version) fall back to gob. Hot paths that
+// can recycle the buffer use encodeWireTo with a pooled buffer instead.
 func encodeWire(m *wireMsg) ([]byte, error) {
+	return encodeWireTo(nil, m)
+}
+
+// decodeWire decodes a daemon wire frame, dispatching on the first byte:
+// the wirecodec preamble selects the binary codec, anything else is a
+// legacy gob frame (old traces, fuzz corpora, mixed-version peers).
+func decodeWire(data []byte) (*wireMsg, error) {
+	if wirecodec.IsCodec(data) {
+		return decodeWireCodec(data)
+	}
+	return decodeWireGob(data)
+}
+
+func encodeWireGob(m *wireMsg) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
 		return nil, fmt.Errorf("encode wire message: %w", err)
@@ -215,7 +235,7 @@ func encodeWire(m *wireMsg) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func decodeWire(data []byte) (*wireMsg, error) {
+func decodeWireGob(data []byte) (*wireMsg, error) {
 	var m wireMsg
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("decode wire message: %w", err)

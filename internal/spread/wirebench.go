@@ -1,0 +1,104 @@
+package spread
+
+import (
+	"time"
+
+	"repro/internal/wirecodec"
+)
+
+// WireCodecStat records one wire kind's frame size and encode/decode cost
+// under the binary codec and the legacy gob path. Exported so cmd/sgcbench
+// can regenerate BENCH_wire.json without reaching into unexported wire
+// types.
+type WireCodecStat struct {
+	Kind       string  `json:"kind"`
+	CodecBytes int     `json:"codec_bytes"`
+	GobBytes   int     `json:"gob_bytes"`
+	CodecEncNs float64 `json:"codec_encode_ns"`
+	GobEncNs   float64 `json:"gob_encode_ns"`
+	CodecDecNs float64 `json:"codec_decode_ns"`
+	GobDecNs   float64 `json:"gob_decode_ns"`
+}
+
+// wireBenchMessages returns one representative message per steady-state
+// wire kind (membership-protocol kinds included: they dominate view
+// changes, the paper's expensive path).
+func wireBenchMessages() []*wireMsg {
+	v := ViewID{Epoch: 3, Coord: "daemon-00"}
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	dm := dataMsg{
+		View: v, Sender: "daemon-01", Seq: 42, LTS: 1717,
+		P: payload{Kind: payClientData, Group: "g", Member: "m#daemon-01", Service: Agreed, Data: data},
+	}
+	frame := make([]byte, 1024+48)
+	for i := range frame {
+		frame[i] = byte(i * 7)
+	}
+	return []*wireMsg{
+		{Kind: kindHeartbeat, HB: &hbMsg{View: v, LTS: 1717, Stable: 1700, Seq: 42}},
+		{Kind: kindData, Data: &dm},
+		{Kind: kindPropose, Prop: &proposeMsg{Round: 7}},
+		{Kind: kindSync, Sync: &syncMsg{Round: 7, Members: []string{"daemon-00", "daemon-01", "daemon-02"}}},
+		{Kind: kindSyncAck, SyncAck: &syncAckMsg{Round: 7, OldView: v, Msgs: []dataMsg{dm}}},
+		{Kind: kindInstall, Install: &installMsg{
+			Round: 8,
+			View:  View{ID: ViewID{Epoch: 4, Coord: "daemon-00"}, Members: []string{"daemon-00", "daemon-01"}},
+			Recovered: map[ViewID][]dataMsg{v: {dm}},
+		}},
+		{Kind: kindSecData, Sec: &secMsg{View: v, Epoch: 2, Frame: frame}},
+		{Kind: kindNack, Nack: &nackMsg{View: v, Sender: "daemon-01", From: 2, To: 5}},
+	}
+}
+
+// MeasureWireCodec times encode and decode of each representative wire
+// message through the binary codec and through gob, averaging iters runs.
+func MeasureWireCodec(iters int) []WireCodecStat {
+	if iters <= 0 {
+		iters = 200
+	}
+	var out []WireCodecStat
+	for _, m := range wireBenchMessages() {
+		s := WireCodecStat{Kind: kindName(m.Kind)}
+
+		cenc, err := encodeWireTo(nil, m)
+		if err != nil {
+			continue
+		}
+		genc, err := encodeWireGob(m)
+		if err != nil {
+			continue
+		}
+		s.CodecBytes, s.GobBytes = len(cenc), len(genc)
+
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			buf, _ := encodeWireTo(wirecodec.GetBuf(), m)
+			wirecodec.PutBuf(buf)
+		}
+		s.CodecEncNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			_, _ = encodeWireGob(m)
+		}
+		s.GobEncNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			_, _ = decodeWireCodec(cenc)
+		}
+		s.CodecDecNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			_, _ = decodeWireGob(genc)
+		}
+		s.GobDecNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		out = append(out, s)
+	}
+	return out
+}

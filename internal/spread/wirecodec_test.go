@@ -1,0 +1,381 @@
+package spread
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/kga"
+	"repro/internal/wirecodec"
+)
+
+// ---- randomized message generator ----
+//
+// Containers are generated nil or with >= 1 element, never empty non-nil:
+// gob cannot distinguish nil from empty (it omits zero values), so the
+// differential test would report spurious mismatches on shapes the daemon
+// never produces.
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func randBytes(r *rand.Rand) []byte {
+	if r.Intn(3) == 0 {
+		return nil
+	}
+	b := make([]byte, 1+r.Intn(64))
+	r.Read(b)
+	return b
+}
+
+func randViewID(r *rand.Rand) ViewID {
+	return ViewID{Epoch: r.Uint64() >> uint(r.Intn(64)), Coord: randString(r)}
+}
+
+func randDataMsg(r *rand.Rand) dataMsg {
+	m := dataMsg{
+		View:   randViewID(r),
+		Sender: randString(r),
+		Seq:    r.Uint64() >> uint(r.Intn(64)),
+		LTS:    r.Uint64() >> uint(r.Intn(64)),
+		P: payload{
+			Kind:       payloadKind(1 + r.Intn(4)),
+			Group:      randString(r),
+			Member:     randString(r),
+			DstMember:  randString(r),
+			Service:    Service(r.Intn(4)),
+			Data:       randBytes(r),
+			Disconnect: r.Intn(2) == 0,
+		},
+	}
+	if r.Intn(3) == 0 {
+		for i, n := 0, 1+r.Intn(3); i < n; i++ {
+			m.P.State = append(m.P.State, stateEntry{
+				Group:  randString(r),
+				Member: randString(r),
+				Daemon: randString(r),
+				Stamp: Stamp{
+					Epoch: uint64(r.Intn(100)), LTS: uint64(r.Intn(1000)),
+					Sub: uint64(r.Intn(10)), Name: randString(r),
+				},
+				PrevView: randViewID(r),
+				ViewSeq:  uint64(r.Intn(1000)),
+			})
+		}
+	}
+	return m
+}
+
+func randSealed(r *rand.Rand) []sealedData {
+	if r.Intn(2) == 0 {
+		return nil
+	}
+	out := make([]sealedData, 1+r.Intn(3))
+	for i := range out {
+		out[i] = sealedData{Sender: randString(r), Seq: r.Uint64() >> uint(r.Intn(64)), Frame: randBytes(r)}
+	}
+	return out
+}
+
+func randKGAMessage(r *rand.Rand) *kga.Message {
+	return &kga.Message{
+		Proto: randString(r),
+		Type:  r.Intn(16) - 4,
+		From:  randString(r),
+		To:    randString(r),
+		Body:  randBytes(r),
+	}
+}
+
+func randWireMsg(r *rand.Rand) *wireMsg {
+	kind := msgKind(1 + r.Intn(int(kindMax)-1))
+	m := &wireMsg{Kind: kind}
+	if r.Intn(8) == 0 {
+		return m // nil body: dropped by handlers but must still round-trip
+	}
+	switch kind {
+	case kindHeartbeat:
+		m.HB = &hbMsg{View: randViewID(r), LTS: r.Uint64(), Stable: r.Uint64(), Seq: r.Uint64()}
+	case kindData:
+		d := randDataMsg(r)
+		m.Data = &d
+	case kindPropose:
+		m.Prop = &proposeMsg{Round: r.Uint64() >> uint(r.Intn(64))}
+	case kindSync:
+		s := &syncMsg{Round: r.Uint64() >> uint(r.Intn(64))}
+		for i, n := 0, r.Intn(4); i < n; i++ {
+			s.Members = append(s.Members, randString(r))
+		}
+		m.Sync = s
+	case kindSyncAck:
+		a := &syncAckMsg{Round: r.Uint64() >> uint(r.Intn(64)), OldView: randViewID(r), Sealed: randSealed(r)}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			a.Msgs = append(a.Msgs, randDataMsg(r))
+		}
+		m.SyncAck = a
+	case kindInstall:
+		inst := &installMsg{
+			Round: r.Uint64() >> uint(r.Intn(64)),
+			View:  View{ID: randViewID(r)},
+		}
+		for i, n := 0, 1+r.Intn(3); i < n; i++ {
+			inst.View.Members = append(inst.View.Members, randString(r))
+		}
+		if r.Intn(2) == 0 {
+			inst.Recovered = map[ViewID][]dataMsg{}
+			for i, n := 0, 1+r.Intn(3); i < n; i++ {
+				msgs := make([]dataMsg, 1+r.Intn(2))
+				for j := range msgs {
+					msgs[j] = randDataMsg(r)
+				}
+				inst.Recovered[randViewID(r)] = msgs
+			}
+		}
+		if r.Intn(2) == 0 {
+			inst.RecoveredSealed = map[ViewID][]sealedData{randViewID(r): randSealed(r)}
+		}
+		m.Install = inst
+	case kindSecAnnounce, kindSecKGA, kindSecData:
+		sec := &secMsg{View: randViewID(r), Epoch: r.Uint64() >> uint(r.Intn(64)), Frame: randBytes(r)}
+		if r.Intn(2) == 0 {
+			sec.Pub = new(big.Int).Rand(r, new(big.Int).Lsh(big.NewInt(1), 512))
+			if r.Intn(8) == 0 {
+				sec.Pub.Neg(sec.Pub)
+			}
+		}
+		if r.Intn(2) == 0 {
+			sec.KGA = randKGAMessage(r)
+		}
+		m.Sec = sec
+	case kindNack:
+		m.Nack = &nackMsg{View: randViewID(r), Sender: randString(r), From: r.Uint64(), To: r.Uint64()}
+	}
+	return m
+}
+
+// TestWireCodecGobDifferential encodes randomized messages through both the
+// binary codec and the legacy gob path and requires the decoded values to
+// agree with each other and with the original — the codec must be a drop-in
+// semantic replacement, not merely self-consistent.
+func TestWireCodecGobDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		m := randWireMsg(r)
+
+		cenc, err := encodeWireTo(nil, m)
+		if err != nil {
+			t.Fatalf("#%d: codec encode: %v (%#v)", i, err, m)
+		}
+		if !wirecodec.IsCodec(cenc) {
+			t.Fatalf("#%d: codec encoding missing preamble", i)
+		}
+		genc, err := encodeWireGob(m)
+		if err != nil {
+			t.Fatalf("#%d: gob encode: %v", i, err)
+		}
+
+		cm, err := decodeWire(cenc)
+		if err != nil {
+			t.Fatalf("#%d: codec decode: %v (%#v)", i, err, m)
+		}
+		gm, err := decodeWire(genc)
+		if err != nil {
+			t.Fatalf("#%d: gob decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(cm, m) {
+			t.Fatalf("#%d: codec round trip diverged:\nin:  %#v\nout: %#v", i, m, cm)
+		}
+		if !reflect.DeepEqual(cm, gm) {
+			t.Fatalf("#%d: codec and gob decode disagree:\ncodec: %#v\ngob:   %#v", i, cm, gm)
+		}
+	}
+}
+
+// TestWireCodecSmallerThanGob pins the size win that motivates the codec:
+// every representative frame must encode strictly smaller than gob.
+func TestWireCodecSmallerThanGob(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m := randWireMsg(r)
+		cenc, err := encodeWireTo(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		genc, err := encodeWireGob(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cenc) >= len(genc) {
+			t.Fatalf("#%d kind %s: codec %dB not smaller than gob %dB", i, kindName(m.Kind), len(cenc), len(genc))
+		}
+	}
+}
+
+// TestWireCodecGobFallbackKinds covers the escape hatch: kinds outside the
+// known range encode via gob and still decode.
+func TestWireCodecGobFallbackKinds(t *testing.T) {
+	for _, kind := range []msgKind{0, -3, kindMax, kindMax + 7} {
+		m := &wireMsg{Kind: kind}
+		enc, err := encodeWire(m)
+		if err != nil {
+			t.Fatalf("kind %d: encode: %v", kind, err)
+		}
+		if wirecodec.IsCodec(enc) {
+			t.Fatalf("kind %d: out-of-range kind must fall back to gob", kind)
+		}
+		got, err := decodeWire(enc)
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", kind, err)
+		}
+		if got.Kind != kind {
+			t.Fatalf("kind %d: decoded as %d", kind, got.Kind)
+		}
+	}
+}
+
+// FuzzWireCodec targets the binary decoder specifically: arbitrary bytes
+// after a forced codec preamble must never panic, and any accepted frame
+// must re-encode/decode as an exact identity (the binary codec, unlike the
+// gob fallback, is canonical from the first decode).
+func FuzzWireCodec(f *testing.F) {
+	for _, b := range corpusWire(f) {
+		if wirecodec.IsCodec(b) {
+			f.Add(b[2:]) // strip the preamble the fuzz body re-adds
+		}
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			return
+		}
+		frame := append(wirecodec.AppendPreamble(nil), raw...)
+		m, err := decodeWireCodec(frame)
+		if err != nil {
+			return
+		}
+		enc, err := encodeWireTo(nil, m)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v (%#v)", err, m)
+		}
+		m2, err := decodeWireCodec(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("codec round trip not identity:\nfirst:  %#v\nsecond: %#v", m, m2)
+		}
+	})
+}
+
+// TestWriteWireCodecCorpus regenerates the checked-in FuzzWireCodec seeds
+// (preamble-stripped codec frames). Same gate as TestWriteFuzzCorpus.
+func TestWriteWireCodecCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the checked-in corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range corpusWire(t) {
+		if !wirecodec.IsCodec(b) {
+			continue
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b[2:])) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// ---- benchmarks: codec vs gob on the steady-state frame mix ----
+
+// benchFrameMsgs is the per-iteration work unit: one heartbeat and one
+// 1 KiB data message, the two frames that dominate a loaded daemon.
+func benchFrameMsgs() []*wireMsg {
+	v := ViewID{Epoch: 3, Coord: "daemon-00"}
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	return []*wireMsg{
+		{Kind: kindHeartbeat, HB: &hbMsg{View: v, LTS: 171717, Stable: 171000, Seq: 1234}},
+		{Kind: kindData, Data: &dataMsg{
+			View: v, Sender: "daemon-01", Seq: 4242, LTS: 171718,
+			P: payload{Kind: payClientData, Group: "bench", Member: "m#daemon-01", Service: Agreed, Data: data},
+		}},
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	msgs := benchFrameMsgs()
+	b.Run("codec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range msgs {
+				buf, err := encodeWireTo(wirecodec.GetBuf(), m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wirecodec.PutBuf(buf)
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range msgs {
+				if _, err := encodeWireGob(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	msgs := benchFrameMsgs()
+	var cenc, genc [][]byte
+	for _, m := range msgs {
+		ce, err := encodeWireTo(nil, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ge, err := encodeWireGob(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cenc, genc = append(cenc, ce), append(genc, ge)
+	}
+	b.Run("codec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, e := range cenc {
+				if _, err := decodeWire(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, e := range genc {
+				if _, err := decodeWire(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

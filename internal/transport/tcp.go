@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 	"time"
 )
@@ -21,6 +22,7 @@ import (
 type TCPNetwork struct {
 	mu    sync.Mutex
 	addrs map[string]string
+	delay time.Duration // small-frame coalescing deadline; <= 0 disables
 }
 
 // NewTCPNetwork creates a TCP transport with the given address book.
@@ -29,7 +31,16 @@ func NewTCPNetwork(addrs map[string]string) *TCPNetwork {
 	for k, v := range addrs {
 		book[k] = v
 	}
-	return &TCPNetwork{addrs: book}
+	return &TCPNetwork{addrs: book, delay: coalesceDelay}
+}
+
+// SetCoalesceDelay adjusts the small-frame coalescing deadline for
+// connections dialed after the call; zero or negative flushes every frame
+// immediately (still one syscall per frame). The default is coalesceDelay.
+func (t *TCPNetwork) SetCoalesceDelay(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delay = d
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -88,9 +99,47 @@ type tcpNode struct {
 
 var _ Node = (*tcpNode)(nil)
 
+// tcpConn is one outbound connection with a small-frame coalescing buffer.
+// Frames append to wbuf under mu and flush either when the buffer crosses
+// coalesceFlush bytes, or when the flush deadline fires — so a burst of
+// small frames (heartbeat fan-out, data multicast) costs one syscall, not
+// one per frame, while an isolated frame is delayed at most coalesceDelay.
+// Frames of writevMin bytes or more bypass the copy: the pending buffer
+// plus the large payload go out in a single writev (net.Buffers).
+//
+// A write error latches in werr: the asynchronous flush has no caller to
+// report to, so the next Send observes the error and drops the connection.
 type tcpConn struct {
-	mu sync.Mutex // serializes writes
-	c  net.Conn
+	mu    sync.Mutex // serializes writes; guards all fields below
+	c     net.Conn
+	delay time.Duration
+	wbuf  []byte
+	timer *time.Timer
+	armed bool
+	werr  error
+}
+
+func (c *tcpConn) flushLocked() error {
+	if c.werr != nil {
+		return c.werr
+	}
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.c.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		c.werr = err
+	}
+	return err
+}
+
+// flushAsync is the deadline flush; errors latch in werr for the next Send.
+func (c *tcpConn) flushAsync() {
+	c.mu.Lock()
+	c.armed = false
+	_ = c.flushLocked()
+	c.mu.Unlock()
 }
 
 func (n *tcpNode) Name() string { return n.name }
@@ -124,6 +173,7 @@ func (n *tcpNode) connTo(to string) (*tcpConn, error) {
 
 	n.net.mu.Lock()
 	addr, ok := n.net.addrs[to]
+	delay := n.net.delay
 	n.net.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for %s", to)
@@ -132,7 +182,7 @@ func (n *tcpNode) connTo(to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &tcpConn{c: raw}
+	c := &tcpConn{c: raw, delay: delay}
 
 	n.mu.Lock()
 	if existing, ok := n.conns[to]; ok {
@@ -194,25 +244,79 @@ func (n *tcpNode) readLoop(conn net.Conn) {
 	}
 }
 
-const maxFrame = 64 << 20 // 64 MiB sanity cap
+const (
+	maxFrame = 64 << 20 // 64 MiB sanity cap
+	maxFrom  = 65535    // fromLen travels as uint16
 
-// writeFrame sends [4-byte total][2-byte fromLen][from][data].
+	// coalesceFlush forces a flush once the pending buffer holds this
+	// much; coalesceDelay bounds how long a lone small frame can wait.
+	// writevMin is the payload size above which the frame skips the
+	// buffer copy and goes out as a writev alongside the pending bytes.
+	coalesceFlush = 4 << 10
+	writevMin     = 8 << 10
+	coalesceDelay = 500 * time.Microsecond
+
+	// readChunk bounds the allocation made on the strength of an
+	// unverified header: a hostile 64 MiB length prefix only costs
+	// memory as fast as the peer actually delivers bytes.
+	readChunk = 64 << 10
+)
+
+// writeFrame queues [4-byte total][2-byte fromLen][from][data] on the
+// connection's coalescing buffer (see tcpConn).
 func writeFrame(c *tcpConn, from string, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var hdr [6]byte
+	if len(from) > maxFrom {
+		return fmt.Errorf("transport: from name too long (%d bytes)", len(from))
+	}
 	total := 2 + len(from) + len(data)
+	if total > maxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", total)
+	}
+	var hdr [6]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(total))
 	binary.BigEndian.PutUint16(hdr[4:], uint16(len(from)))
-	if _, err := c.c.Write(hdr[:]); err != nil {
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	if len(data) >= writevMin {
+		// Large payload: one writev of pending bytes + header + payload,
+		// no copy of data.
+		c.wbuf = append(c.wbuf, hdr[:]...)
+		c.wbuf = append(c.wbuf, from...)
+		bufs := net.Buffers{c.wbuf, data}
+		_, err := bufs.WriteTo(c.c)
+		c.wbuf = c.wbuf[:0]
+		if err != nil {
+			c.werr = err
+		}
 		return err
 	}
-	if _, err := io.WriteString(c.c, from); err != nil {
-		return err
+	c.wbuf = append(c.wbuf, hdr[:]...)
+	c.wbuf = append(c.wbuf, from...)
+	c.wbuf = append(c.wbuf, data...)
+	if c.delay <= 0 || len(c.wbuf) >= coalesceFlush {
+		return c.flushLocked()
 	}
-	_, err := c.c.Write(data)
-	return err
+	if !c.armed {
+		c.armed = true
+		if c.timer == nil {
+			c.timer = time.AfterFunc(c.delay, c.flushAsync)
+		} else {
+			c.timer.Reset(c.delay)
+		}
+	}
+	return nil
 }
+
+// fromPool recycles the scratch buffer the sender name is read into (the
+// name itself is a fresh string; the scratch never escapes).
+var fromPool = sync.Pool{New: func() any {
+	b := make([]byte, 256)
+	return &b
+}}
 
 func readFrame(r io.Reader) (string, []byte, error) {
 	var hdr [6]byte
@@ -224,9 +328,33 @@ func readFrame(r io.Reader) (string, []byte, error) {
 	if total > maxFrame || int(total) < 2+fromLen {
 		return "", nil, fmt.Errorf("transport: bad frame header")
 	}
-	buf := make([]byte, int(total)-2)
-	if _, err := io.ReadFull(r, buf); err != nil {
+
+	fb := fromPool.Get().(*[]byte)
+	if cap(*fb) < fromLen {
+		*fb = make([]byte, fromLen)
+	}
+	scratch := (*fb)[:fromLen]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		fromPool.Put(fb)
 		return "", nil, err
 	}
-	return string(buf[:fromLen]), buf[fromLen:], nil
+	from := string(scratch)
+	fromPool.Put(fb)
+
+	// The data buffer escapes to the handler (decoded messages alias it),
+	// so it cannot be pooled — but it can be grown incrementally so the
+	// header alone never commits more than readChunk of memory.
+	n := int(total) - 2 - fromLen
+	data := make([]byte, min(n, readChunk))
+	for filled := 0; ; {
+		if _, err := io.ReadFull(r, data[filled:]); err != nil {
+			return "", nil, err
+		}
+		filled = len(data)
+		if filled >= n {
+			break
+		}
+		data = slices.Grow(data, min(n-filled, filled))[:min(2*filled, n)]
+	}
+	return from, data, nil
 }

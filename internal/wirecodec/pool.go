@@ -1,0 +1,36 @@
+package wirecodec
+
+import "sync"
+
+// Encode buffers are recycled through a sync.Pool: the steady-state data
+// plane encodes a frame, hands it to the transport (which copies), and can
+// reuse the buffer immediately. Oversized buffers — a 100 KB payload or a
+// recovery union — are dropped instead of pooled so a burst of large frames
+// does not pin their memory behind the pool forever.
+
+// maxPooledBuf caps the capacity of buffers returned to the pool.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length encode buffer from the pool. Pair with
+// PutBuf once the encoded bytes are no longer referenced.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf recycles an encode buffer. The caller must not touch b (or any
+// encoding appended into it) afterwards. Buffers that grew beyond
+// maxPooledBuf are released to the garbage collector instead.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
