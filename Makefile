@@ -3,14 +3,15 @@ GO ?= go
 # The rekey sweep behind BENCH_rekey.json and the bench-diff gate.
 SWEEP_FLAGS ?= -sizes 2..8 -batch 3
 
-.PHONY: check vet build test race chaos bench-exp bench-obs bench-rekey \
-	bench-report bench-diff bench-wire bench-wire-diff obs-smoke
+.PHONY: check vet build test race chaos chaos-tcp chaos-tcp-short bench-exp \
+	bench-obs bench-rekey bench-report bench-diff bench-wire bench-wire-diff \
+	obs-smoke
 
 ## check: the full local gate — vet, build, tests, the race suite on the
-## packages with concurrency-sensitive fast paths, and the regression gates
-## against the checked-in baselines (rekey latency and the data-plane wire
-## sweep).
-check: vet build test race bench-diff bench-wire-diff
+## packages with concurrency-sensitive fast paths, a short chaos schedule
+## replayed over real TCP sockets, and the regression gates against the
+## checked-in baselines (rekey latency and the data-plane wire sweep).
+check: vet build test race chaos-tcp-short bench-diff bench-wire-diff
 
 vet:
 	$(GO) vet ./...
@@ -23,13 +24,26 @@ test:
 
 race:
 	$(GO) test -race ./internal/dh ./internal/cliques ./internal/crypt \
-		./internal/spread ./internal/flush ./internal/core
+		./internal/spread ./internal/flush ./internal/core \
+		./internal/transport/...
 
 ## chaos: the deterministic fault-schedule matrix (8 seeds x 2 protocols,
 ## 5 cluster-wide invariants) under the race detector. A failing seed
 ## reproduces with: go test ./internal/chaos -run TestChaos -chaos.seed=N
 chaos:
 	$(GO) test -race -timeout 3000s ./internal/chaos
+
+## chaos-tcp: seeded fault schedules (partition/heal, crash/restart, link
+## reset under load) replayed over real TCP sockets through the faultnet
+## relay, under the race detector — the redial supervisor, bounded send
+## queues, and peer-down eviction all run against live kernel connections.
+chaos-tcp:
+	$(GO) test -race -timeout 600s -count=1 ./internal/chaos -run TestChaosTCP -v
+
+## chaos-tcp-short: the make-check smoke — one short reset-heavy TCP
+## schedule, sized to finish in seconds.
+chaos-tcp-short:
+	$(GO) test -timeout 120s -count=1 ./internal/chaos -run TestChaosTCPShort
 
 ## bench-exp: regenerate BENCH_exp.json (fixed-base speedup, batch-pool
 ## scaling, Seal/Open pooling cost).

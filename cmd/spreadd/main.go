@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -85,23 +87,30 @@ func run(name, config string, heartbeat time.Duration, clientListen, debugAddr, 
 		}
 		log.Printf("daemon %s serving remote clients on %s", name, ln.Addr())
 	}
+	var debug *http.Server
 	if debugAddr != "" {
 		ln, err := net.Listen("tcp", debugAddr)
 		if err != nil {
 			d.Stop()
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		srv := &http.Server{Handler: obs.Mux(d.Obs())}
+		debug = &http.Server{Handler: obs.Mux(d.Obs())}
 		go func() {
-			if err := srv.Serve(ln); err != http.ErrServerClosed {
+			if err := debug.Serve(ln); err != http.ErrServerClosed {
 				log.Printf("debug server: %v", err)
 			}
 		}()
-		defer srv.Close()
 		log.Printf("daemon %s serving introspection on http://%s/metrics", name, ln.Addr())
 	}
+
+	shutdown := make(chan struct{})
+	var clients sync.WaitGroup
 	if joinGroup != "" {
-		go embeddedClient(d, len(peers), joinGroup, joinProto, joinDelay)
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			embeddedClient(d, len(peers), joinGroup, joinProto, joinDelay, shutdown)
+		}()
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -114,8 +123,22 @@ func run(name, config string, heartbeat time.Duration, clientListen, debugAddr, 
 	for {
 		select {
 		case <-stop:
+			// Graceful shutdown, in dependency order: the embedded client
+			// disconnects (its leave propagates a clean membership change),
+			// the introspection server drains, and only then does the
+			// daemon stop — so peers observe an orderly departure rather
+			// than a crash. A second signal aborts immediately.
 			log.Printf("daemon %s shutting down", name)
+			signal.Stop(stop)
+			close(shutdown)
+			waitOrSignal(&clients, 3*time.Second)
+			if debug != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_ = debug.Shutdown(ctx)
+				cancel()
+			}
 			d.Stop()
+			log.Printf("daemon %s stopped", name)
 			return nil
 		case <-ticker.C:
 			v := d.CurrentView()
@@ -127,44 +150,121 @@ func run(name, config string, heartbeat time.Duration, clientListen, debugAddr, 
 	}
 }
 
+// waitOrSignal waits for the group, bounded by a timeout so a wedged client
+// cannot hold shutdown hostage.
+func waitOrSignal(wg *sync.WaitGroup, timeout time.Duration) {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		log.Printf("embedded client did not stop within %v; continuing shutdown", timeout)
+	}
+}
+
 // embeddedClient runs an in-process secure session on this daemon: it
 // waits for the full daemon view, sleeps the configured stagger, joins the
 // group, and answers every SecureView with one multicast (so each rekey
 // completes its first-send phase). It shares the daemon's observability
 // scope, so the client's flush/KGA/key-install events are served by the
 // same /trace endpoint sgctrace collects from.
-func embeddedClient(d *spread.Daemon, fullView int, group, proto string, delay time.Duration) {
+//
+// The session auto-reconnects: if the event stream ends for any reason
+// other than shutdown (the daemon dropped the session), the client redials
+// and rejoins with capped exponential backoff, so a daemon that restarts
+// picks its secure session back up without operator action.
+func embeddedClient(d *spread.Daemon, fullView int, group, proto string, delay time.Duration, stop <-chan struct{}) {
 	deadline := time.Now().Add(2 * time.Minute)
 	for len(d.CurrentView().Members) < fullView {
 		if time.Now().After(deadline) {
 			log.Printf("embedded client: full %d-daemon view never formed; joining anyway", fullView)
 			break
 		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	time.Sleep(delay)
-
-	ep, err := d.Connect("app")
-	if err != nil {
-		log.Printf("embedded client: connect: %v", err)
-		return
-	}
-	conn := core.New(ep, core.WithObs(d.Obs()))
-	if err := conn.Join(group, proto, crypt.SuiteBlowfish); err != nil {
-		log.Printf("embedded client: join %s: %v", group, err)
-		return
-	}
-	log.Printf("embedded client %s joining group %q (%s)", conn.Name(), group, proto)
-	for ev := range conn.Events() {
-		switch e := ev.(type) {
-		case core.SecureView:
-			log.Printf("embedded client: secure view epoch=%d members=%v", e.Epoch, e.Members)
-			_ = conn.Multicast(group, []byte("hello from "+conn.Name()))
-		case core.Message:
-			log.Printf("embedded client: message from %s: %s", e.Sender, e.Data)
-		case core.Warning:
-			log.Printf("embedded client: warning: %v", e.Err)
+		if !sleepOrStop(50*time.Millisecond, stop) {
+			return
 		}
+	}
+	if !sleepOrStop(delay, stop) {
+		return
+	}
+
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if attempt > 0 {
+			if !sleepOrStop(backoff, stop) {
+				return
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+		ep, err := d.Connect("app")
+		if err != nil {
+			log.Printf("embedded client: connect: %v (retrying)", err)
+			continue
+		}
+		conn := core.New(ep, core.WithObs(d.Obs()))
+		if err := conn.Join(group, proto, crypt.SuiteBlowfish); err != nil {
+			log.Printf("embedded client: join %s: %v (retrying)", group, err)
+			_ = conn.Disconnect()
+			continue
+		}
+		log.Printf("embedded client %s joining group %q (%s)", conn.Name(), group, proto)
+		backoff = 100 * time.Millisecond
+		if done := clientSession(conn, group, stop); done {
+			return
+		}
+		log.Printf("embedded client: session ended; reconnecting")
+	}
+}
+
+// clientSession consumes one connection's event stream. It returns true
+// when shutdown was requested (the session was disconnected cleanly) and
+// false when the stream ended on its own — the caller reconnects.
+func clientSession(conn *core.Conn, group string, stop <-chan struct{}) bool {
+	for {
+		select {
+		case <-stop:
+			_ = conn.Leave(group)
+			_ = conn.Disconnect()
+			// Drain so the core loop can finish delivering.
+			for range conn.Events() {
+			}
+			return true
+		case ev, ok := <-conn.Events():
+			if !ok {
+				return false
+			}
+			switch e := ev.(type) {
+			case core.SecureView:
+				log.Printf("embedded client: secure view epoch=%d members=%v", e.Epoch, e.Members)
+				_ = conn.Multicast(group, []byte("hello from "+conn.Name()))
+			case core.Message:
+				log.Printf("embedded client: message from %s: %s", e.Sender, e.Data)
+			case core.Warning:
+				log.Printf("embedded client: warning: %v", e.Err)
+			}
+		}
+	}
+}
+
+// sleepOrStop sleeps d, returning false if shutdown arrived first.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
 	}
 }
 

@@ -175,8 +175,10 @@ func TestEmbeddedClient(t *testing.T) {
 		defer d.Stop()
 		daemons = append(daemons, d)
 	}
-	go embeddedClient(daemons[0], 2, "smoke", "cliques", 0)
-	go embeddedClient(daemons[1], 2, "smoke", "cliques", 300*time.Millisecond)
+	stop := make(chan struct{})
+	defer close(stop)
+	go embeddedClient(daemons[0], 2, "smoke", "cliques", 0, stop)
+	go embeddedClient(daemons[1], 2, "smoke", "cliques", 300*time.Millisecond, stop)
 
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -194,5 +196,51 @@ func TestEmbeddedClient(t *testing.T) {
 			t.Fatalf("no fully-phased join rekey in the daemons' traces; rekeys: %+v", rep.Rekeys)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestEmbeddedClientGracefulStop checks the shutdown side of the reconnect
+// loop: closing the stop channel makes the embedded client leave, disconnect,
+// and return promptly instead of looping on reconnect forever.
+func TestEmbeddedClientGracefulStop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test in -short mode")
+	}
+	nw := transport.NewMemNetwork()
+	peers := []string{"d1", "d2"}
+	var daemons []*spread.Daemon
+	for _, name := range peers {
+		d, err := spread.NewDaemon(name, peers, nw, spread.Config{Heartbeat: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Stop()
+		daemons = append(daemons, d)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		embeddedClient(daemons[0], 2, "smoke", "cliques", 0, stop)
+		close(done)
+	}()
+
+	// Let the client establish its secure session before pulling the plug.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if n := daemons[0].Stats().Clients; n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("embedded client never connected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("embedded client did not stop after shutdown signal")
 	}
 }

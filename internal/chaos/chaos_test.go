@@ -83,8 +83,17 @@ func TestScheduleDeterminism(t *testing.T) {
 // every event must be legal at its point in the sequence so the driver can
 // replay it verbatim.
 func TestScheduleWellFormed(t *testing.T) {
+	// Both mixes: the historical default (no resets) and a reset-heavy mix
+	// as used by the TCP substrate tests.
+	for _, w := range []Weights{{}, {Reset: 12}} {
+		checkWellFormed(t, w)
+	}
+}
+
+func checkWellFormed(t *testing.T, weights Weights) {
+	t.Helper()
 	for seed := uint64(1); seed <= 50; seed++ {
-		s := Generate(seed, 3, 60, 6, Weights{})
+		s := Generate(seed, 3, 60, 6, weights)
 		up := map[string]bool{}
 		for _, d := range s.Daemons {
 			up[d] = true
@@ -161,6 +170,13 @@ func TestScheduleWellFormed(t *testing.T) {
 					bad("drop-off without drop-on")
 				}
 				dropping = false
+			case EvReset:
+				if !up[ev.Daemon] || !up[ev.Peer] {
+					bad("reset names a down daemon")
+				}
+				if ev.Daemon == ev.Peer {
+					bad("reset link endpoints are the same daemon")
+				}
 			}
 		}
 		if len(clients) == 0 {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs/analyze"
 	"repro/internal/spread"
 	"repro/internal/transport"
+	"repro/internal/transport/faultnet"
 
 	// The harness is self-contained: both key agreement modules are
 	// registered so any schedule can replay under either protocol.
@@ -25,6 +26,12 @@ import (
 type Config struct {
 	// Seed selects the schedule; same seed, same schedule, same trace.
 	Seed uint64
+	// Transport selects the substrate: "mem" (default) replays over the
+	// in-memory network; "tcp" replays over real TCP sockets through the
+	// faultnet localhost proxy, so drops, partitions, crashes, and link
+	// resets hit live kernel connections and the transport's redial
+	// supervisor.
+	Transport string
 	// Daemons is the initial daemon count (default 3, the paper's
 	// testbed).
 	Daemons int
@@ -74,9 +81,19 @@ func (c Config) withDefaults() Config {
 	if c.Group == "" {
 		c.Group = "chaos"
 	}
+	if c.Transport == "" {
+		c.Transport = "mem"
+	}
 	if c.Daemon.Heartbeat == 0 {
 		c.Daemon.Heartbeat = 10 * time.Millisecond
 		c.Daemon.SuspectAfter = 150 * time.Millisecond
+		if c.Transport == "tcp" {
+			// Real sockets plus a relay hop per frame: give the failure
+			// detector more slack so the chaos is the schedule's, not the
+			// scheduler's.
+			c.Daemon.Heartbeat = 15 * time.Millisecond
+			c.Daemon.SuspectAfter = 400 * time.Millisecond
+		}
 		if raceEnabled {
 			// The race detector slows the stack several-fold; with the
 			// fast timers daemons false-suspect each other and the
@@ -213,11 +230,29 @@ func parseProbe(data []byte) (sender string, epoch uint64, digest string, ok boo
 	return parts[1], epoch, parts[3], true
 }
 
+// faultNetwork is the fault surface the driver needs from its substrate:
+// MemNetwork provides it natively, faultnet.Net provides it over real TCP.
+type faultNetwork interface {
+	transport.Network
+	SetSeed(uint64)
+	SetLatency(time.Duration)
+	SetDropRate(perMillion int)
+	Partition(groups ...[]string)
+	Heal()
+	Crash(name string)
+}
+
+var (
+	_ faultNetwork = (*transport.MemNetwork)(nil)
+	_ faultNetwork = (*faultnet.Net)(nil)
+)
+
 // driver executes a schedule against a live cluster.
 type driver struct {
 	cfg      Config
 	sched    *Schedule
-	net      *transport.MemNetwork
+	net      faultNetwork
+	fnet     *faultnet.Net // non-nil in TCP (proxy) mode
 	daemons  map[string]*spread.Daemon
 	clients  map[string]*client // by schedule name, alive only
 	departed []*client          // disconnected/left/crashed clients (logs kept)
@@ -253,12 +288,35 @@ func Replay(cfg Config, sched *Schedule) (*Result, error) {
 	d := &driver{
 		cfg:     cfg,
 		sched:   sched,
-		net:     transport.NewMemNetwork(),
 		daemons: make(map[string]*spread.Daemon),
 		clients: make(map[string]*client),
 		reg:     reg,
 		obs:     &obs.Scope{Node: "driver", Rec: obs.NewRecorder("driver", 0), Reg: reg, Log: obs.L("chaos")},
 		log:     obs.L("chaos"),
+	}
+	switch cfg.Transport {
+	case "mem":
+		d.net = transport.NewMemNetwork()
+	case "tcp":
+		addrs := make(map[string]string, len(sched.Daemons))
+		for _, name := range sched.Daemons {
+			addrs[name] = "127.0.0.1:0"
+		}
+		tn := transport.NewTCPNetwork(addrs)
+		tn.SetTuning(transport.TCPTuning{
+			DialTimeout:  500 * time.Millisecond,
+			WriteTimeout: time.Second,
+			BackoffMin:   5 * time.Millisecond,
+			BackoffMax:   100 * time.Millisecond,
+			DownAfter:    3,
+		})
+		fn, err := faultnet.NewTCPProxy(tn, sched.Daemons, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: tcp proxy: %w", err)
+		}
+		d.net, d.fnet = fn, fn
+	default:
+		return nil, fmt.Errorf("chaos: unknown transport %q", cfg.Transport)
 	}
 	d.net.SetSeed(cfg.Seed)
 	defer d.stopAll()
@@ -472,6 +530,12 @@ func (d *driver) apply(ev Event) {
 		d.net.SetDropRate(0)
 	case EvLatency:
 		d.net.SetLatency(ev.Delay)
+	case EvReset:
+		// A live-connection reset only exists on a connection-oriented
+		// substrate; the mem network has no sockets to kill.
+		if d.fnet != nil {
+			d.fnet.Reset(ev.Daemon, ev.Peer)
+		}
 	case EvSend:
 		if c := d.clients[ev.Client]; c != nil {
 			d.sendProbe(c)
@@ -663,5 +727,8 @@ func (d *driver) stopAll() {
 	}
 	for _, dm := range d.daemons {
 		dm.Stop()
+	}
+	if d.fnet != nil {
+		d.fnet.Close()
 	}
 }

@@ -42,6 +42,7 @@ const (
 	EvSend                           // a client multicasts an epoch-tagged probe
 	EvRefresh                        // a client requests a key refresh
 	EvSettle                         // idle wait
+	EvReset                          // reset the live link between two daemons (TCP)
 )
 
 func (k EventKind) String() string {
@@ -72,6 +73,8 @@ func (k EventKind) String() string {
 		return "refresh"
 	case EvSettle:
 		return "settle"
+	case EvReset:
+		return "reset"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -83,7 +86,8 @@ func (k EventKind) String() string {
 type Event struct {
 	Kind   EventKind
 	Client string     // join/leave/disconnect/send/refresh subject
-	Daemon string     // join target daemon, crash/recover subject
+	Daemon string     // join target daemon, crash/recover/reset subject
+	Peer   string     // the other endpoint of an EvReset link
 	Split  [][]string // partition components (daemon names)
 	Rate   int        // drop rate per million (EvDropOn)
 	Delay  time.Duration
@@ -102,6 +106,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " client=%s", e.Client)
 	case EvCrash, EvRecover:
 		fmt.Fprintf(&b, " daemon=%s", e.Daemon)
+	case EvReset:
+		fmt.Fprintf(&b, " link=%s<->%s", e.Daemon, e.Peer)
 	case EvPartition:
 		parts := make([]string, len(e.Split))
 		for i, g := range e.Split {
@@ -126,6 +132,11 @@ type Weights struct {
 	Partition, Heal          int
 	DropOn, DropOff, Latency int
 	Send, Refresh, Settle    int
+	// Reset injects live-connection resets. Its default is 0 — it only
+	// makes sense over a transport with real connections (the TCP proxy
+	// mode), and a zero weight keeps every pre-existing mem-network seed
+	// generating its exact historical schedule.
+	Reset int
 }
 
 // DefaultWeights is the mix used by the test matrix: membership churn and
@@ -154,6 +165,7 @@ func (w Weights) withDefaults() Weights {
 		Partition: fill(w.Partition, d.Partition), Heal: fill(w.Heal, d.Heal),
 		DropOn: fill(w.DropOn, d.DropOn), DropOff: fill(w.DropOff, d.DropOff), Latency: fill(w.Latency, d.Latency),
 		Send: fill(w.Send, d.Send), Refresh: fill(w.Refresh, d.Refresh), Settle: fill(w.Settle, d.Settle),
+		Reset: w.Reset, // no default: 0 unless explicitly requested
 	}
 }
 
@@ -275,6 +287,7 @@ func Generate(seed uint64, nDaemons, nEvents, maxClients int, w Weights) *Schedu
 		{EvPartition, w.Partition}, {EvHeal, w.Heal},
 		{EvDropOn, w.DropOn}, {EvDropOff, w.DropOff}, {EvLatency, w.Latency},
 		{EvSend, w.Send}, {EvRefresh, w.Refresh}, {EvSettle, w.Settle},
+		{EvReset, w.Reset},
 	}
 	total := 0
 	for _, k := range kinds {
@@ -401,6 +414,17 @@ func (m *model) emit(kind EventKind, r *rng) (Event, bool) {
 		return Event{Kind: kind, Client: r.pick(sortedKeys(m.clients)), Settle: settle(10, 50)}, true
 	case EvSettle:
 		return Event{Kind: EvSettle, Settle: settle(40, 160)}, true
+	case EvReset:
+		up := sortedKeys(m.daemonsUp)
+		if len(up) < 2 {
+			return Event{}, false
+		}
+		i := r.intn(len(up))
+		j := r.intn(len(up) - 1)
+		if j >= i {
+			j++
+		}
+		return Event{Kind: EvReset, Daemon: up[i], Peer: up[j], Settle: settle(30, 100)}, true
 	}
 	return Event{}, false
 }

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tcpScenarios are the three fault families the TCP substrate must survive:
+// the same invariant suite as the mem matrix, but every fault now lands on
+// real kernel sockets through the faultnet relay — partitions starve live
+// connections, crashes produce genuine connection-refused dials (driving
+// the supervisor's peer-down path), and resets kill sockets mid-stream so
+// the redial machinery runs under load.
+var tcpScenarios = []struct {
+	name    string
+	seed    uint64
+	weights Weights
+	want    EventKind // the fault kind this scenario is about
+}{
+	{"partition-heal", 11, Weights{Partition: 24, Heal: 28}, EvPartition},
+	{"crash-restart", 12, Weights{Crash: 24, Recover: 30}, EvCrash},
+	{"reset-under-load", 18, Weights{Reset: 24, Send: 30}, EvReset},
+}
+
+// runChaosTCP replays one scenario over real TCP and checks the invariants.
+func runChaosTCP(t *testing.T, seed uint64, events int, w Weights, want EventKind) {
+	t.Helper()
+	sched := Generate(seed, 3, events, 6, w)
+	hits := 0
+	for _, ev := range sched.Events {
+		if ev.Kind == want {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatalf("seed %d produced no %s events; pick another seed\n%s", seed, want, sched)
+	}
+	cfg := Config{Seed: seed, Events: events, Transport: "tcp", Weights: w}
+	res, err := Replay(cfg, sched)
+	if err != nil {
+		t.Fatalf("tcp chaos replay: %v\nschedule:\n%s", err, sched)
+	}
+	if !res.Passed() || *flagVerbose {
+		t.Logf("schedule:\n%s\ntrace:\n%s", sched, res.TraceString())
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+}
+
+// TestChaosTCP replays three distinct seeded fault schedules over real TCP
+// sockets: partition/heal, daemon crash/restart, and link reset under probe
+// load. All five cluster-wide invariants must hold on each.
+func TestChaosTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp chaos is not a -short test")
+	}
+	for _, sc := range tcpScenarios {
+		t.Run(fmt.Sprintf("%s/seed=%d", sc.name, sc.seed), func(t *testing.T) {
+			t.Parallel()
+			runChaosTCP(t, sc.seed, 24, sc.weights, sc.want)
+		})
+	}
+}
+
+// TestChaosTCPShort is the make-check smoke: one short reset-heavy schedule
+// over real sockets, sized to stay well inside the check target's budget.
+func TestChaosTCPShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp chaos is not a -short test")
+	}
+	runChaosTCP(t, 5, 10, Weights{Reset: 24, Send: 30}, EvReset)
+}

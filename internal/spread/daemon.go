@@ -157,7 +157,7 @@ func NewDaemon(name string, peers []string, net transport.Network, cfg Config) (
 	}
 	sort.Strings(d.peers)
 
-	node, err := net.Attach(name, transport.HandlerFunc(d.handleTransport))
+	node, err := net.Attach(name, daemonHandler{d})
 	if err != nil {
 		return nil, fmt.Errorf("attach daemon %s: %w", name, err)
 	}
@@ -223,11 +223,62 @@ func (d *Daemon) do(fn func()) error {
 	}
 }
 
+// daemonHandler is the daemon's transport-facing surface: inbound messages
+// plus the optional extensions — link supervision events (PeerWatcher) and
+// the daemon's metrics registry (MetricsProvider), so supervised transports
+// report dial failures and queue drops into the daemon's own scope.
+type daemonHandler struct{ d *Daemon }
+
+func (h daemonHandler) HandleMessage(from string, data []byte) { h.d.handleTransport(from, data) }
+
+func (h daemonHandler) ObsRegistry() *obs.Registry { return h.d.obs.Reg }
+
+func (h daemonHandler) PeerUp(peer string)   { h.d.onPeerEvent(peer, true) }
+func (h daemonHandler) PeerDown(peer string) { h.d.onPeerEvent(peer, false) }
+
+var (
+	_ transport.PeerWatcher     = daemonHandler{}
+	_ transport.MetricsProvider = daemonHandler{}
+)
+
 func (d *Daemon) handleTransport(from string, data []byte) {
 	select {
 	case d.inbox <- inboundMsg{from: from, data: data}:
 	case <-d.stop:
 	}
+}
+
+// onPeerEvent forwards a transport link transition onto the event loop.
+// Events are advisory (heartbeats stay the failure-detection source of
+// truth), so a full acts queue drops the event rather than blocking the
+// transport's supervisor goroutine.
+func (d *Daemon) onPeerEvent(peer string, up bool) {
+	select {
+	case d.acts <- func() { d.peerTransition(peer, up) }:
+	case <-d.stop:
+	default:
+	}
+}
+
+// peerTransition reacts to a supervised link changing state. A peer-down
+// for a current view member is treated like an expired heartbeat: the
+// member is dropped from the reachability estimate and a membership round
+// starts immediately, so flush rounds above do not stall for SuspectAfter
+// waiting on a dead socket. Peer-up is recorded but deliberately does not
+// touch lastHeard — a TCP dial succeeding proves a listener exists, not
+// that the daemon behind it is live; its heartbeats will say so.
+func (d *Daemon) peerTransition(peer string, up bool) {
+	if up {
+		d.obs.Record(obs.Event{Comp: "spread", Kind: "peer-up", Detail: peer})
+		return
+	}
+	d.obs.Record(obs.Event{Comp: "spread", Kind: "peer-down", Detail: peer})
+	if d.form.active || !slices.Contains(d.view.Members, peer) || peer == d.name {
+		return
+	}
+	delete(d.lastHeard, peer) // excluded from the next reachable estimate
+	d.obs.Reg.Counter("spread_peer_down_evictions").Inc()
+	d.startForming()
 }
 
 // run is the daemon event loop.

@@ -1,0 +1,76 @@
+package spread
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// waitDaemonView polls a daemon until its installed view has exactly the
+// wanted members.
+func waitDaemonView(t *testing.T, d *Daemon, want []string, timeout time.Duration) time.Duration {
+	t.Helper()
+	w := slices.Clone(want)
+	slices.Sort(w)
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for time.Now().Before(deadline) {
+		got := slices.Clone(d.CurrentView().Members)
+		slices.Sort(got)
+		if slices.Equal(got, w) {
+			return time.Since(start)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s: no view with members %v within %v (have %v)",
+		d.Name(), want, timeout, d.CurrentView().Members)
+	return 0
+}
+
+// TestPeerDownEvictionOverTCP pins the supervisor->membership fast path: a
+// daemon whose peer dies on a real TCP link must evict it on the
+// transport's peer-down event, long before the heartbeat suspicion timeout
+// would fire. SuspectAfter is set absurdly high so the only way the view
+// can shrink in time is the PeerWatcher path.
+func TestPeerDownEvictionOverTCP(t *testing.T) {
+	tn := transport.NewTCPNetwork(map[string]string{
+		"a": "127.0.0.1:0",
+		"b": "127.0.0.1:0",
+	})
+	tn.SetTuning(transport.TCPTuning{
+		DialTimeout:  500 * time.Millisecond,
+		WriteTimeout: 500 * time.Millisecond,
+		BackoffMin:   5 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+		DownAfter:    2,
+	})
+	const suspect = 60 * time.Second // never reached in this test
+	cfg := Config{Heartbeat: 10 * time.Millisecond, SuspectAfter: suspect}
+
+	da, err := NewDaemon("a", []string{"a", "b"}, tn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer da.Stop()
+	db, err := NewDaemon("b", []string{"a", "b"}, tn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Stop()
+
+	waitDaemonView(t, da, []string{"a", "b"}, 10*time.Second)
+	waitDaemonView(t, db, []string{"a", "b"}, 10*time.Second)
+
+	// Kill b. Its listener and connections close; a's supervisor starts
+	// failing dials and reports b down.
+	db.Stop()
+	evictIn := waitDaemonView(t, da, []string{"a"}, 15*time.Second)
+	if evictIn >= suspect {
+		t.Fatalf("eviction took %v, not faster than SuspectAfter", evictIn)
+	}
+	if got := da.Obs().Reg.Counter("spread_peer_down_evictions").Value(); got < 1 {
+		t.Fatalf("spread_peer_down_evictions = %d, want >= 1", got)
+	}
+}

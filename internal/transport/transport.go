@@ -14,7 +14,11 @@
 // paper's fail-stop / network-partition model).
 package transport
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
 
 // Errors returned by transports.
 var (
@@ -34,6 +38,26 @@ type HandlerFunc func(from string, data []byte)
 
 // HandleMessage implements Handler.
 func (f HandlerFunc) HandleMessage(from string, data []byte) { f(from, data) }
+
+// PeerWatcher is an optional Handler extension. Transports that supervise
+// their links (the TCP transport) report outbound link transitions to
+// handlers implementing it: PeerDown after the supervisor gives up dialing
+// a peer (DownAfter consecutive failures), PeerUp when a later dial
+// succeeds. Calls arrive on transport goroutines and must not block;
+// events are advisory — the membership layer keeps heartbeats as the
+// source of truth and uses these only to react faster.
+type PeerWatcher interface {
+	PeerUp(peer string)
+	PeerDown(peer string)
+}
+
+// MetricsProvider is an optional Handler extension: transports that emit
+// metrics (dial attempts, queue drops, link transitions) register their
+// instruments in the provided registry instead of obs.Default, so per-node
+// registries in multi-daemon tests stay isolated.
+type MetricsProvider interface {
+	ObsRegistry() *obs.Registry
+}
 
 // Node is an attached endpoint that can send to peers by name.
 type Node interface {

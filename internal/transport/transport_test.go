@@ -42,7 +42,9 @@ func (c *collector) waitFor(t *testing.T, n int) []string {
 }
 
 func TestMemNetworkBasicDelivery(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	var ca, cb collector
 	a, err := net.Attach("a", &ca)
 	if err != nil {
@@ -64,7 +66,9 @@ func TestMemNetworkBasicDelivery(t *testing.T) {
 }
 
 func TestMemNetworkFIFOPerSender(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	var cb collector
 	a, err := net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	if err != nil {
@@ -89,7 +93,9 @@ func TestMemNetworkFIFOPerSender(t *testing.T) {
 }
 
 func TestMemNetworkPartitionAndHeal(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	var cb collector
 	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	net.Attach("b", &cb)
@@ -116,7 +122,9 @@ func TestMemNetworkPartitionAndHeal(t *testing.T) {
 }
 
 func TestMemNetworkUnlistedEndpointsAreSingletons(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b", "c")
 	net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	net.Attach("b", HandlerFunc(func(string, []byte) {}))
 	net.Attach("c", HandlerFunc(func(string, []byte) {}))
@@ -133,7 +141,9 @@ func TestMemNetworkUnlistedEndpointsAreSingletons(t *testing.T) {
 }
 
 func TestMemNetworkCrash(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	var cb collector
 	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	net.Attach("b", &cb)
@@ -153,7 +163,9 @@ func TestMemNetworkCrash(t *testing.T) {
 }
 
 func TestMemNetworkDuplicateAttach(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a")
 	net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	if _, err := net.Attach("a", HandlerFunc(func(string, []byte) {})); err == nil {
 		t.Fatal("duplicate attach accepted")
@@ -161,7 +173,9 @@ func TestMemNetworkDuplicateAttach(t *testing.T) {
 }
 
 func TestMemNetworkSenderBufferReuse(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	var cb collector
 	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	net.Attach("b", &cb)
@@ -175,7 +189,9 @@ func TestMemNetworkSenderBufferReuse(t *testing.T) {
 }
 
 func TestMemNetworkLatency(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	var cb collector
 	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	net.Attach("b", &cb)
@@ -189,7 +205,9 @@ func TestMemNetworkLatency(t *testing.T) {
 }
 
 func TestMemNetworkDropRate(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	var cb collector
 	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	net.Attach("b", &cb)
@@ -207,7 +225,9 @@ func TestMemNetworkDropRate(t *testing.T) {
 }
 
 func TestMemNetworkClosedSender(t *testing.T) {
+	leakCheck(t)
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	a, _ := net.Attach("a", HandlerFunc(func(string, []byte) {}))
 	net.Attach("b", HandlerFunc(func(string, []byte) {}))
 	if err := a.Close(); err != nil {
@@ -219,6 +239,7 @@ func TestMemNetworkClosedSender(t *testing.T) {
 }
 
 func TestTCPNetworkDelivery(t *testing.T) {
+	leakCheck(t)
 	tn := NewTCPNetwork(map[string]string{
 		"a": "127.0.0.1:0",
 		"b": "127.0.0.1:0",
@@ -254,6 +275,7 @@ func TestTCPNetworkDelivery(t *testing.T) {
 }
 
 func TestTCPNetworkUnknownPeerDrops(t *testing.T) {
+	leakCheck(t)
 	tn := NewTCPNetwork(map[string]string{"a": "127.0.0.1:0"})
 	na, err := tn.Attach("a", HandlerFunc(func(string, []byte) {}))
 	if err != nil {
@@ -266,6 +288,7 @@ func TestTCPNetworkUnknownPeerDrops(t *testing.T) {
 }
 
 func TestTCPNetworkPeerDownDrops(t *testing.T) {
+	leakCheck(t)
 	tn := NewTCPNetwork(map[string]string{
 		"a": "127.0.0.1:0",
 		"b": "127.0.0.1:1", // nothing listens there
@@ -285,6 +308,7 @@ func TestTCPNetworkPeerDownDrops(t *testing.T) {
 func dropPattern(t *testing.T, seed uint64, n int) string {
 	t.Helper()
 	net := NewMemNetwork()
+	memCleanup(t, net, "a", "b")
 	net.SetSeed(seed)
 	net.SetDropRate(300_000) // 30%
 	var cb collector
@@ -325,6 +349,7 @@ func (c *collector) waitSettled() []string {
 // drop pattern (the reproducibility contract the chaos harness relies on),
 // and different seeds must diverge.
 func TestMemNetworkSeededDropsReplay(t *testing.T) {
+	leakCheck(t)
 	const n = 64
 	p1 := dropPattern(t, 42, n)
 	p2 := dropPattern(t, 42, n)
