@@ -5,7 +5,7 @@ SWEEP_FLAGS ?= -sizes 2..8 -batch 3
 
 .PHONY: check vet build test race chaos chaos-tcp chaos-tcp-short bench-exp \
 	bench-obs bench-rekey bench-report bench-diff bench-wire bench-wire-diff \
-	obs-smoke
+	obs-smoke mon-smoke
 
 ## check: the full local gate — vet, build, tests, the race suite on the
 ## packages with concurrency-sensitive fast paths, a short chaos schedule
@@ -25,7 +25,7 @@ test:
 race:
 	$(GO) test -race ./internal/dh ./internal/cliques ./internal/crypt \
 		./internal/spread ./internal/flush ./internal/core \
-		./internal/transport/...
+		./internal/transport/... ./internal/obs/... ./cmd/sgcmon
 
 ## chaos: the deterministic fault-schedule matrix (8 seeds x 2 protocols,
 ## 5 cluster-wide invariants) under the race detector. A failing seed
@@ -95,3 +95,11 @@ bench-wire-diff:
 ## collect -> report pipeline and assert a fully-phased join rekey.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+## mon-smoke: the live-monitoring gate — 3-daemon TCP cluster with
+## streaming telemetry and armed flight recorders; sgcmon's one-shot
+## evaluation must pass on the healthy fleet (exit 0), alert after a
+## daemon is killed (exit 3), and the survivors' flight bundles must
+## re-read through sgctrace report.
+mon-smoke:
+	./scripts/mon-smoke.sh

@@ -1,0 +1,524 @@
+// Command sgcmon is the live fleet monitor: it subscribes to every
+// daemon's streaming telemetry endpoint (/events, see internal/obs/stream)
+// and folds the per-node trace events and metric deltas into one
+// cluster-wide view — sliding-window wire rates, merged rekey-latency
+// histograms, view/epoch convergence — evaluating the same anomaly
+// detectors `sgctrace report` runs post-hoc, but incrementally, while the
+// experiment is still running.
+//
+// Usage:
+//
+//	sgcmon [-interval 2s] [-window 60s] [-stall 2s] [-group G] [-json] \
+//	       [-once] [-duration 5s] name=http://host:port ...
+//
+// By default it redraws a text dashboard every interval; -json emits one
+// JSON document per evaluation instead. -once waits -duration, evaluates
+// a single time, prints, and exits — status 0 when the fleet is healthy
+// and converged, 3 when any alert is active (the mon-smoke gate scripts
+// against this).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/obs/stream"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sgcmon", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "dashboard refresh interval")
+	window := fs.Duration("window", 60*time.Second, "sliding window for rates and anomaly evaluation")
+	stall := fs.Duration("stall", analyze.DefaultStallThreshold, "idle time before an open rekey counts as stalled")
+	group := fs.String("group", "", "restrict trace analysis to one process group")
+	jsonOut := fs.Bool("json", false, "emit JSON documents instead of the text dashboard")
+	once := fs.Bool("once", false, "evaluate once after -duration and exit (3 when alerts are active)")
+	duration := fs.Duration("duration", 5*time.Second, "how long -once observes before evaluating")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sgcmon [flags] name=http://host:port ...")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	targets, err := parseTargets(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgcmon:", err)
+		os.Exit(2)
+	}
+
+	mon := newMonitor(*window, *stall, *group)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		mon.addNode(t.name, t.addr)
+		wg.Add(1)
+		go func(name, url string) {
+			defer wg.Done()
+			for m := range stream.Subscribe(ctx, url, stream.SubOptions{Group: *group}) {
+				mon.apply(name, m)
+			}
+		}(t.name, t.addr)
+	}
+
+	render := func() *FleetView {
+		v := mon.view(time.Now())
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(v)
+		} else {
+			v.WriteText(os.Stdout)
+		}
+		return v
+	}
+
+	if *once {
+		time.Sleep(*duration)
+		v := render()
+		cancel()
+		wg.Wait()
+		if len(v.Alerts) > 0 {
+			os.Exit(3)
+		}
+		return
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for range tick.C {
+		render()
+	}
+}
+
+type target struct{ name, addr string }
+
+func parseTargets(args []string) ([]target, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no endpoints; expected name=http://host:port arguments")
+	}
+	out := make([]target, 0, len(args))
+	for _, a := range args {
+		name, addr, ok := strings.Cut(a, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad endpoint %q (want name=http://host:port)", a)
+		}
+		out = append(out, target{name: name, addr: strings.TrimRight(addr, "/")})
+	}
+	return out, nil
+}
+
+// ---- aggregation ----
+
+// timedDelta is one metrics frame's counter increments, stamped at
+// receipt, for sliding-window rates.
+type timedDelta struct {
+	at       time.Time
+	counters map[string]int64
+}
+
+// nodeState is everything the monitor knows about one daemon's stream.
+type nodeState struct {
+	name, url string
+	connected bool
+	lastErr   string
+
+	// totals accumulates the metric deltas back into cumulative counters
+	// and histograms (AddInto is the inverse of the stream's DiffFrom).
+	totals obs.Snapshot
+	deltas []timedDelta
+	events []obs.Event
+
+	dropped   uint64 // frames this subscriber lost to queue overflow
+	truncated int    // non-initial ring truncations: events lost for good
+}
+
+type monitor struct {
+	window time.Duration
+	stall  time.Duration
+	group  string
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+	order []string
+	start time.Time
+}
+
+func newMonitor(window, stall time.Duration, group string) *monitor {
+	return &monitor{
+		window: window,
+		stall:  stall,
+		group:  group,
+		nodes:  make(map[string]*nodeState),
+		start:  time.Now(),
+	}
+}
+
+func (m *monitor) addNode(name, url string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[name]; ok {
+		return
+	}
+	m.nodes[name] = &nodeState{name: name, url: url, lastErr: "awaiting first frame"}
+	m.order = append(m.order, name)
+}
+
+// apply folds one stream message into the node's state.
+func (m *monitor) apply(name string, msg stream.Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[name]
+	if n == nil {
+		return
+	}
+	switch msg.Kind {
+	case stream.KindHello:
+		n.connected = true
+		n.lastErr = ""
+	case "disconnect":
+		n.connected = false
+		if msg.Err != nil {
+			n.lastErr = msg.Err.Error()
+		}
+	case stream.KindTrace:
+		n.events = append(n.events, msg.Events...)
+	case stream.KindTruncated:
+		if msg.Trunc != nil && !msg.Trunc.Initial {
+			n.truncated++
+		}
+	case stream.KindMetrics:
+		if msg.Metrics == nil {
+			return
+		}
+		n.totals.AddInto(msg.Metrics.Metrics)
+		if len(msg.Metrics.Metrics.Counters) > 0 {
+			n.deltas = append(n.deltas, timedDelta{at: time.Now(), counters: msg.Metrics.Metrics.Counters})
+		}
+		n.dropped = msg.Metrics.Dropped
+	}
+}
+
+// ---- evaluation ----
+
+// Rate is a per-wire-kind traffic rate over the sliding window.
+type Rate struct {
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+}
+
+// NodeView is one daemon's row in the fleet view.
+type NodeView struct {
+	Name      string `json:"name"`
+	Connected bool   `json:"connected"`
+	Error     string `json:"error,omitempty"`
+	Events    int    `json:"events_in_window"`
+	Dropped   uint64 `json:"dropped_frames,omitempty"`
+	Truncated int    `json:"truncations,omitempty"`
+	View      string `json:"view,omitempty"`
+}
+
+// HistView is one merged latency distribution.
+type HistView struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// FleetView is one evaluation of the whole fleet: what the dashboard
+// renders and what -json emits.
+type FleetView struct {
+	At        time.Time           `json:"at"`
+	WindowSec float64             `json:"window_sec"`
+	Nodes     []NodeView          `json:"nodes"`
+	SendRates map[string]Rate     `json:"send_rates,omitempty"` // by wire kind
+	Rekey     map[string]HistView `json:"rekey_latency,omitempty"`
+	Converged bool                `json:"converged"`
+	Views     map[string][]string `json:"views,omitempty"`  // daemon view -> nodes
+	Epochs    map[string][]string `json:"epochs,omitempty"` // group/epoch -> nodes
+	Anomalies []analyze.Anomaly   `json:"anomalies,omitempty"`
+	Alerts    []string            `json:"alerts,omitempty"`
+}
+
+const (
+	sentMsgsPrefix  = "spread_wire_sent_msgs{"
+	sentBytesPrefix = "spread_wire_sent_bytes{"
+)
+
+// view evaluates the fleet at now: prune windows, compute rates and
+// convergence, run the anomaly detectors over the merged window trace.
+func (m *monitor) view(now time.Time) *FleetView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	cutoff := now.Add(-m.window)
+	elapsed := now.Sub(m.start)
+	effective := m.window
+	if elapsed < effective {
+		effective = elapsed
+	}
+	if effective < time.Second {
+		effective = time.Second
+	}
+
+	v := &FleetView{
+		At:        now,
+		WindowSec: effective.Seconds(),
+		Converged: true,
+		Views:     make(map[string][]string),
+		Epochs:    make(map[string][]string),
+	}
+
+	rateSums := make(map[string]int64)
+	mergedHists := make(map[string]obs.HistogramSnapshot)
+	var traces [][]obs.Event
+	connected := 0
+	for _, name := range m.order {
+		n := m.nodes[name]
+		n.events = pruneEvents(n.events, cutoff)
+		n.deltas = pruneDeltas(n.deltas, cutoff)
+
+		nv := NodeView{Name: n.name, Connected: n.connected, Error: n.lastErr,
+			Events: len(n.events), Dropped: n.dropped, Truncated: n.truncated}
+		if n.connected {
+			connected++
+		} else {
+			v.Alerts = append(v.Alerts, fmt.Sprintf("node %s unreachable: %s", n.name, n.lastErr))
+		}
+		if n.dropped > 0 {
+			v.Alerts = append(v.Alerts, fmt.Sprintf("node %s stream dropped %d frames (monitor too slow)", n.name, n.dropped))
+		}
+		if n.truncated > 0 {
+			v.Alerts = append(v.Alerts, fmt.Sprintf("node %s trace truncated %d time(s): events lost", n.name, n.truncated))
+		}
+
+		for _, d := range n.deltas {
+			for cname, inc := range d.counters {
+				if strings.HasPrefix(cname, sentMsgsPrefix) || strings.HasPrefix(cname, sentBytesPrefix) {
+					rateSums[cname] += inc
+				}
+			}
+		}
+		if len(n.events) > 0 {
+			traces = append(traces, n.events)
+		}
+
+		// Convergence inputs: the node's latest daemon view install and
+		// latest key epoch per group.
+		var lastView string
+		lastEpoch := make(map[string]uint64)
+		for _, e := range n.events {
+			if e.Comp == "spread" && e.Kind == "view-install" {
+				lastView = e.View
+			}
+			if e.Kind == "key-install" && e.Group != "" {
+				lastEpoch[e.Group] = e.KeyEpoch
+			}
+		}
+		nv.View = lastView
+		if n.connected && lastView != "" {
+			v.Views[lastView] = append(v.Views[lastView], n.name)
+		}
+		if n.connected {
+			for g, ep := range lastEpoch {
+				key := fmt.Sprintf("%s/epoch-%d", g, ep)
+				v.Epochs[key] = append(v.Epochs[key], n.name)
+			}
+		}
+
+		// Merged rekey-latency histograms across nodes.
+		for hname, h := range n.totals.Histograms {
+			if !strings.Contains(hname, "rekey") {
+				continue
+			}
+			if v.Rekey == nil {
+				v.Rekey = make(map[string]HistView)
+			}
+			merged := mergedHists[hname]
+			mergedHists[hname] = obs.MergeHistograms(merged, h)
+		}
+
+		v.Nodes = append(v.Nodes, nv)
+	}
+
+	for hname, h := range mergedHists {
+		v.Rekey[hname] = HistView{Count: h.Count, P50Ms: h.Quantile(0.5), P99Ms: h.Quantile(0.99), MaxMs: h.MaxMs}
+	}
+
+	if len(rateSums) > 0 {
+		v.SendRates = make(map[string]Rate)
+	}
+	for cname, sum := range rateSums {
+		kind := wireKind(cname)
+		r := v.SendRates[kind]
+		if strings.HasPrefix(cname, sentMsgsPrefix) {
+			r.MsgsPerSec = float64(sum) / effective.Seconds()
+		} else {
+			r.BytesPerSec = float64(sum) / effective.Seconds()
+		}
+		v.SendRates[kind] = r
+	}
+
+	// Convergence: every connected node that has installed a view must
+	// agree on it, and view peers must agree on each group's epoch.
+	if len(v.Views) > 1 {
+		v.Converged = false
+		v.Alerts = append(v.Alerts, "daemon views diverge: "+mapSummary(v.Views))
+	}
+	if div := epochDivergence(v.Epochs); len(div) > 0 {
+		v.Converged = false
+		for _, d := range div {
+			v.Alerts = append(v.Alerts, "key epochs diverge: "+d)
+		}
+	}
+	if connected < len(m.order) {
+		v.Converged = false
+	}
+
+	// The same detectors sgctrace report runs post-hoc, over the merged
+	// in-window trace.
+	v.Anomalies = analyze.DetectAnomalies(obs.Merge(traces...),
+		analyze.Options{StallThreshold: m.stall, Group: m.group})
+	for _, a := range v.Anomalies {
+		v.Alerts = append(v.Alerts, a.String())
+	}
+	sort.Strings(v.Alerts)
+	return v
+}
+
+func pruneEvents(events []obs.Event, cutoff time.Time) []obs.Event {
+	i := 0
+	for i < len(events) && events[i].T.Before(cutoff) {
+		i++
+	}
+	return events[i:]
+}
+
+func pruneDeltas(deltas []timedDelta, cutoff time.Time) []timedDelta {
+	i := 0
+	for i < len(deltas) && deltas[i].at.Before(cutoff) {
+		i++
+	}
+	return deltas[i:]
+}
+
+// wireKind extracts the label from "spread_wire_sent_msgs{kind}".
+func wireKind(counter string) string {
+	i := strings.IndexByte(counter, '{')
+	if i < 0 || !strings.HasSuffix(counter, "}") {
+		return counter
+	}
+	return counter[i+1 : len(counter)-1]
+}
+
+// epochDivergence reports groups whose connected nodes disagree on the
+// key epoch. Keys are "group/epoch-N".
+func epochDivergence(epochs map[string][]string) []string {
+	byGroup := make(map[string][]string)
+	for key, nodes := range epochs {
+		g, _, ok := strings.Cut(key, "/epoch-")
+		if !ok {
+			continue
+		}
+		byGroup[g] = append(byGroup[g], fmt.Sprintf("%s: %v", key, nodes))
+	}
+	var out []string
+	for g, entries := range byGroup {
+		if len(entries) > 1 {
+			sort.Strings(entries)
+			out = append(out, fmt.Sprintf("group %s (%s)", g, strings.Join(entries, "; ")))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mapSummary(m map[string][]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		sort.Strings(m[k])
+		parts = append(parts, fmt.Sprintf("%s: %v", k, m[k]))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ---- rendering ----
+
+// WriteText renders the dashboard.
+func (v *FleetView) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== sgcmon %s (window %.0fs) ==\n", v.At.Format("15:04:05"), v.WindowSec)
+	for _, n := range v.Nodes {
+		state := "up"
+		if !n.Connected {
+			state = "DOWN"
+			if n.Error != "" {
+				state += " (" + n.Error + ")"
+			}
+		}
+		fmt.Fprintf(w, "  %-8s %-6s events=%-5d", n.Name, state, n.Events)
+		if n.View != "" {
+			fmt.Fprintf(w, " view=%s", n.View)
+		}
+		if n.Dropped > 0 {
+			fmt.Fprintf(w, " dropped=%d", n.Dropped)
+		}
+		if n.Truncated > 0 {
+			fmt.Fprintf(w, " truncated=%d", n.Truncated)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(v.SendRates) > 0 {
+		kinds := make([]string, 0, len(v.SendRates))
+		for k := range v.SendRates {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintln(w, "  wire send rates:")
+		for _, k := range kinds {
+			r := v.SendRates[k]
+			fmt.Fprintf(w, "    %-12s %8.1f msg/s %12.0f B/s\n", k, r.MsgsPerSec, r.BytesPerSec)
+		}
+	}
+	if len(v.Rekey) > 0 {
+		names := make([]string, 0, len(v.Rekey))
+		for n := range v.Rekey {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "  rekey latency (fleet-merged):")
+		for _, n := range names {
+			h := v.Rekey[n]
+			fmt.Fprintf(w, "    %-28s n=%-5d p50=%.2fms p99=%.2fms max=%.2fms\n",
+				n, h.Count, h.P50Ms, h.P99Ms, h.MaxMs)
+		}
+	}
+	if v.Converged {
+		fmt.Fprintln(w, "  convergence: OK")
+	} else {
+		fmt.Fprintln(w, "  convergence: DIVERGED")
+	}
+	if len(v.Alerts) == 0 {
+		fmt.Fprintln(w, "  alerts: none")
+	} else {
+		fmt.Fprintf(w, "  alerts (%d):\n", len(v.Alerts))
+		for _, a := range v.Alerts {
+			fmt.Fprintln(w, "    !", a)
+		}
+	}
+}

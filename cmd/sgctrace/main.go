@@ -6,15 +6,17 @@
 // Usage:
 //
 //	sgctrace collect -out bundle.json [-group G] d01=http://host:port ...
-//	sgctrace report [-json] [-group G] [-stall 2s] FILE
+//	sgctrace report [-json] [-group G] [-stall 2s] FILE|BUNDLE_DIR
 //	sgctrace diff [-ratio 10] [-floor 50] [-count-tol 0] OLD.json NEW.json
 //
 // collect fetches /trace and /metrics from each named debug endpoint
 // (spreadd -debug-addr) into one snapshot bundle; an unreachable node is
 // recorded as unhealthy rather than failing the collection. report accepts
-// a bundle, a raw /trace payload (or bare event array), or a BENCH_rekey.json
-// sweep file, and prints the per-class/per-size phase decomposition, the
-// correlated rekeys, and any anomalies. diff compares two bench files of
+// a bundle, a flight-recorder bundle directory (it reads the bundle.json
+// inside and prints the trigger reason and alerts), a raw /trace payload
+// (or bare event array), or a BENCH_rekey.json sweep file, and prints the
+// per-class/per-size phase decomposition, the correlated rekeys, and any
+// anomalies. diff compares two bench files of
 // the same kind — BENCH_rekey.json rekey sweeps or BENCH_wire.json wire
 // sweeps — and exits nonzero when a tracked metric regressed: deterministic
 // counts (exponentiations, encoded frame sizes) exactly, timings by a
@@ -28,6 +30,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -69,7 +72,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sgctrace collect -out bundle.json [-group G] name=http://addr ...
-  sgctrace report [-json] [-group G] [-stall 2s] FILE
+  sgctrace report [-json] [-group G] [-stall 2s] FILE|BUNDLE_DIR
   sgctrace diff [-ratio 10] [-floor 50] [-count-tol 0] OLD.json NEW.json`)
 }
 
@@ -205,6 +208,13 @@ func report(w io.Writer, path string, jsonOut bool, opt analyze.Options) error {
 		return benchReport(w, in.bench, jsonOut)
 	}
 	if in.bundle != nil && !jsonOut {
+		if in.bundle.Reason != "" {
+			fmt.Fprintf(w, "flight bundle: %s\n", in.bundle.Reason)
+			for _, a := range in.bundle.Alerts {
+				fmt.Fprintln(w, "  !", a)
+			}
+			fmt.Fprintln(w)
+		}
 		for _, n := range in.bundle.Nodes {
 			state := "ok"
 			if !n.Healthy {
@@ -262,8 +272,14 @@ type input struct {
 }
 
 // loadInput reads a report input and detects its shape: a collect bundle,
-// a BENCH_rekey.json sweep, a /trace payload, or a bare event array.
+// a flight-recorder bundle directory, a BENCH_rekey.json sweep, a /trace
+// payload, or a bare event array.
 func loadInput(path string) (*input, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		// A flight-recorder bundle directory: the trace lives in its
+		// bundle.json; the profiles alongside are for humans.
+		path = filepath.Join(path, "bundle.json")
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -36,28 +36,50 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypt"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/stream"
 	"repro/internal/spread"
 	"repro/internal/transport"
 )
 
+// options is everything run needs from the command line.
+type options struct {
+	name, config string
+	heartbeat    time.Duration
+	clientListen string
+	debugAddr    string
+	joinGroup    string
+	joinProto    string
+	joinDelay    time.Duration
+	flightDir    string
+	flightMax    int
+}
+
 func main() {
-	name := flag.String("name", "", "this daemon's name (must appear in the config)")
-	config := flag.String("config", "", "segment configuration file")
-	heartbeat := flag.Duration("heartbeat", 20*time.Millisecond, "heartbeat interval")
-	clientListen := flag.String("client-listen", "", "optional host:port to serve remote clients on")
-	debugAddr := flag.String("debug-addr", "", "optional host:port for the introspection endpoints (/metrics, /trace, /debug/pprof)")
-	joinGroup := flag.String("join-group", "", "optional: run an embedded secure client that joins this group (its rekeys land in this daemon's /trace and /metrics)")
-	joinProto := flag.String("join-proto", "cliques", "embedded client key agreement protocol: cliques|ckd")
-	joinDelay := flag.Duration("join-delay", 0, "wait this long after the full daemon view before the embedded client joins (stagger across daemons to get join-classified rekeys)")
+	var opt options
+	flag.StringVar(&opt.name, "name", "", "this daemon's name (must appear in the config)")
+	flag.StringVar(&opt.config, "config", "", "segment configuration file")
+	flag.DurationVar(&opt.heartbeat, "heartbeat", 20*time.Millisecond, "heartbeat interval")
+	flag.StringVar(&opt.clientListen, "client-listen", "", "optional host:port to serve remote clients on")
+	flag.StringVar(&opt.debugAddr, "debug-addr", "", "optional host:port for the introspection endpoints (/metrics, /trace, /events, /debug/pprof)")
+	flag.StringVar(&opt.joinGroup, "join-group", "", "optional: run an embedded secure client that joins this group (its rekeys land in this daemon's /trace and /metrics)")
+	flag.StringVar(&opt.joinProto, "join-proto", "cliques", "embedded client key agreement protocol: cliques|ckd")
+	flag.DurationVar(&opt.joinDelay, "join-delay", 0, "wait this long after the full daemon view before the embedded client joins (stagger across daemons to get join-classified rekeys)")
+	flag.StringVar(&opt.flightDir, "flight-dir", "", "optional directory for flight-recorder bundles (anomaly watchdog + SIGQUIT dumps)")
+	flag.IntVar(&opt.flightMax, "flight-max", flight.DefaultMaxBundles, "retention cap on flight bundles")
 	flag.Parse()
 
-	if err := run(*name, *config, *heartbeat, *clientListen, *debugAddr, *joinGroup, *joinProto, *joinDelay); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(name, config string, heartbeat time.Duration, clientListen, debugAddr, joinGroup, joinProto string, joinDelay time.Duration) error {
+func run(opt options) error {
+	name, config, heartbeat := opt.name, opt.config, opt.heartbeat
+	clientListen, debugAddr := opt.clientListen, opt.debugAddr
+	joinGroup, joinProto, joinDelay := opt.joinGroup, opt.joinProto, opt.joinDelay
 	if name == "" || config == "" {
 		return fmt.Errorf("both -name and -config are required")
 	}
@@ -94,7 +116,11 @@ func run(name, config string, heartbeat time.Duration, clientListen, debugAddr, 
 			d.Stop()
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		debug = &http.Server{Handler: obs.Mux(d.Obs())}
+		// /readyz answers from the daemon's own health view; /events is the
+		// live stream sgcmon subscribes to.
+		mux := obs.Mux(d.Obs(), obs.WithReadiness(d.Readiness))
+		stream.Attach(mux, d.Obs(), stream.Options{})
+		debug = &http.Server{Handler: mux}
 		go func() {
 			if err := debug.Serve(ln); err != http.ErrServerClosed {
 				log.Printf("debug server: %v", err)
@@ -104,6 +130,52 @@ func run(name, config string, heartbeat time.Duration, clientListen, debugAddr, 
 	}
 
 	shutdown := make(chan struct{})
+
+	// Flight recorder: a watchdog evaluates the anomaly detectors over
+	// this daemon's own ring plus the transport link state, and dumps a
+	// diagnostics bundle when an alert first fires; SIGQUIT forces one.
+	var flightRec *flight.Recorder
+	if opt.flightDir != "" {
+		flightRec = flight.New(d.Obs(), flight.Options{
+			Dir:        opt.flightDir,
+			MaxBundles: opt.flightMax,
+			State: func() any {
+				return map[string]any{
+					"stats": d.Stats(),
+					"peers": d.PeerStatus(),
+				}
+			},
+		})
+		peerSource := func() []string {
+			var out []string
+			for _, ps := range d.PeerStatus() {
+				if !ps.Up {
+					out = append(out, fmt.Sprintf("peer link down: %s (%d frames queued)", ps.Peer, ps.QueueFrames))
+				}
+			}
+			return out
+		}
+		go flightRec.Watch(2*time.Second, shutdown,
+			flight.AnomalySource(d.Obs(), analyze.Options{}), peerSource)
+
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for {
+				select {
+				case <-shutdown:
+					return
+				case <-quit:
+					if dir, err := flightRec.TriggerForce("SIGQUIT", nil); err != nil {
+						log.Printf("flight bundle failed: %v", err)
+					} else {
+						log.Printf("flight bundle written: %s", dir)
+					}
+				}
+			}
+		}()
+		log.Printf("daemon %s flight recorder armed: %s (max %d bundles)", name, opt.flightDir, opt.flightMax)
+	}
 	var clients sync.WaitGroup
 	if joinGroup != "" {
 		clients.Add(1)

@@ -67,11 +67,11 @@ func TestParseConfigErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 0, "", "", "", "", 0); err == nil {
+	if err := run(options{}); err == nil {
 		t.Fatal("missing flags accepted")
 	}
 	cfg := writeConfig(t, "other 127.0.0.1:4803\n")
-	if err := run("me", cfg, 0, "", "", "", "", 0); err == nil {
+	if err := run(options{name: "me", config: cfg}); err == nil {
 		t.Fatal("daemon missing from config accepted")
 	}
 }

@@ -1,8 +1,11 @@
 package chaos
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -272,6 +275,106 @@ func TestChaosCausalTraceOnViolation(t *testing.T) {
 		if !strings.Contains(dump, a.String()) {
 			t.Errorf("anomaly %q missing from the dump", a.String())
 		}
+	}
+}
+
+// TestChaosFlightBundleOnViolation forces a synthetic failure with a
+// FlightDir set and checks that the run freezes itself as a flight
+// bundle `sgctrace report` can re-read: bundle.json in the analyze
+// schema, one node snapshot per daemon and client, the violations as
+// alerts, and the schedule in state.json.
+func TestChaosFlightBundleOnViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is not a -short test")
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		Seed:      5,
+		Events:    10,
+		FlightDir: dir,
+		extraInvariant: func(d *driver) []string {
+			return []string{"synthetic: forced failure (flight-bundle test)"}
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if res.Passed() {
+		t.Fatal("synthetic invariant did not register as a violation")
+	}
+	if res.FlightBundle == "" {
+		t.Fatal("violation with FlightDir set wrote no flight bundle")
+	}
+	if !strings.HasPrefix(filepath.Base(res.FlightBundle), "flight-") {
+		t.Fatalf("bundle directory %q lacks the flight- prefix", res.FlightBundle)
+	}
+
+	// Re-read it exactly as sgctrace report does: <dir>/bundle.json in
+	// the analyze.Bundle schema.
+	raw, err := os.ReadFile(filepath.Join(res.FlightBundle, "bundle.json"))
+	if err != nil {
+		t.Fatalf("bundle.json unreadable: %v", err)
+	}
+	var b analyze.Bundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("bundle.json does not parse as analyze.Bundle: %v", err)
+	}
+	if !strings.Contains(b.Reason, "invariant violation") {
+		t.Errorf("bundle reason %q does not name the violation", b.Reason)
+	}
+	if len(b.Alerts) != len(res.Violations) {
+		t.Errorf("bundle alerts %v != run violations %v", b.Alerts, res.Violations)
+	}
+	// Every daemon appears as a node snapshot; the merged bundle trace
+	// matches the run's own merged trace event-for-event.
+	nodes := make(map[string]bool)
+	for _, n := range b.Nodes {
+		nodes[n.Node] = true
+	}
+	for _, dn := range res.Schedule.Daemons {
+		if !nodes[dn] {
+			t.Errorf("bundle has no snapshot for daemon %s: %v", dn, nodes)
+		}
+	}
+	// The bundle's merged trace is re-derivable offline and still spans
+	// the layers (daemons may record a few more events between the run's
+	// own snapshot and the bundle write, so compare content, not length).
+	merged := b.MergedEvents()
+	if len(merged) == 0 {
+		t.Fatal("bundle merges to an empty trace")
+	}
+	sawFault := false
+	for _, e := range merged {
+		if e.Comp == "chaos" && e.Kind == "fault" {
+			sawFault = true
+			break
+		}
+	}
+	if !sawFault {
+		t.Error("bundle trace has no chaos/fault events from the driver ring")
+	}
+
+	// The profiles and the harness state ride along.
+	for _, f := range []string{"goroutine.txt", "state.json"} {
+		if st, err := os.Stat(filepath.Join(res.FlightBundle, f)); err != nil || st.Size() == 0 {
+			t.Errorf("bundle artifact %s missing or empty (err=%v)", f, err)
+		}
+	}
+	var state struct {
+		Seed       uint64   `json:"seed"`
+		Schedule   []string `json:"schedule"`
+		Violations []string `json:"violations"`
+	}
+	raw, err = os.ReadFile(filepath.Join(res.FlightBundle, "state.json"))
+	if err != nil {
+		t.Fatalf("state.json unreadable: %v", err)
+	}
+	if err := json.Unmarshal(raw, &state); err != nil {
+		t.Fatalf("state.json does not parse: %v", err)
+	}
+	if state.Seed != 5 || len(state.Schedule) == 0 || len(state.Violations) == 0 {
+		t.Errorf("state.json incomplete: %+v", state)
 	}
 }
 

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/dh"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/flight"
 	"repro/internal/spread"
 	"repro/internal/transport"
 	"repro/internal/transport/faultnet"
@@ -54,6 +56,13 @@ type Config struct {
 	// ConvergeTimeout bounds the post-schedule quiescence wait
 	// (default 60s).
 	ConvergeTimeout time.Duration
+	// FlightDir, when non-empty, makes any invariant violation freeze the
+	// run as a flight-recorder bundle there: the analyze.Bundle schema
+	// with one NodeSnapshot per node plus goroutine/heap profiles, which
+	// `sgctrace report <bundle-dir>` reads. Defaults to the
+	// SGC_FLIGHT_DIR environment variable, so CI can capture failed
+	// chaos runs without touching the test code.
+	FlightDir string
 
 	// extraInvariant, when set (tests only — the field is unexported),
 	// runs after the standard invariant checks; any strings it returns
@@ -109,6 +118,9 @@ func (c Config) withDefaults() Config {
 			c.ConvergeTimeout = 180 * time.Second
 		}
 	}
+	if c.FlightDir == "" {
+		c.FlightDir = os.Getenv("SGC_FLIGHT_DIR")
+	}
 	return c
 }
 
@@ -142,6 +154,10 @@ type Result struct {
 	// analyzer's anomaly report, then the merged, time-ordered causal
 	// event trace of every node in the run.
 	CausalTrace []string
+	// FlightBundle is the directory of the flight-recorder bundle written
+	// for a failed run; empty when the run passed or no FlightDir was
+	// configured.
+	FlightBundle string
 }
 
 // Passed reports whether every invariant held.
@@ -360,8 +376,62 @@ func Replay(cfg Config, sched *Schedule) (*Result, error) {
 		d.log.Errorf("seed=%d: %d invariant violation(s); dumping causal trace",
 			cfg.Seed, len(res.Violations))
 		res.CausalTrace = d.causalTrace(res.Events)
+		if cfg.FlightDir != "" {
+			if path, err := d.writeFlightBundle(res); err != nil {
+				d.log.Errorf("seed=%d: flight bundle failed: %v", cfg.Seed, err)
+			} else {
+				res.FlightBundle = path
+				d.log.Errorf("seed=%d: flight bundle written: %s", cfg.Seed, path)
+			}
+		}
 	}
 	return res, nil
+}
+
+// writeFlightBundle freezes the failed run as a flight-recorder bundle:
+// one NodeSnapshot per daemon (crashed daemons keep their scopes) and per
+// client, plus the driver node carrying the shared client registry and
+// the schedule-event ring. `sgctrace report <dir>` reads the result like
+// any collect bundle.
+func (d *driver) writeFlightBundle(res *Result) (string, error) {
+	b := &analyze.Bundle{
+		CollectedAt: time.Now(),
+		Group:       d.cfg.Group,
+		Reason:      fmt.Sprintf("chaos invariant violation seed=%d", d.cfg.Seed),
+		Alerts:      res.Violations,
+	}
+	snap := func(sc *obs.Scope, healthy bool, errMsg string, metrics obs.Snapshot) {
+		b.Nodes = append(b.Nodes, analyze.NodeSnapshot{
+			Node:          sc.Node,
+			Healthy:       healthy,
+			Error:         errMsg,
+			Metrics:       metrics,
+			TotalRecorded: sc.Rec.Total(),
+			Events:        sc.Rec.Events(),
+		})
+	}
+	for _, name := range d.aliveDaemons() {
+		sc := d.daemons[name].Obs()
+		snap(sc, true, "", sc.Reg.Snapshot())
+	}
+	for _, sc := range d.dead {
+		snap(sc, false, "daemon crashed", sc.Reg.Snapshot())
+	}
+	for _, c := range d.allClients() {
+		// Clients share one registry (already on the driver node below);
+		// their snapshots carry only the per-client trace rings.
+		snap(c.obs, true, "", obs.Snapshot{})
+	}
+	snap(d.obs, true, "", res.Metrics)
+	state := map[string]any{
+		"seed":       d.cfg.Seed,
+		"transport":  d.cfg.Transport,
+		"proto":      d.cfg.Proto,
+		"schedule":   strings.Split(strings.TrimRight(d.sched.String(), "\n"), "\n"),
+		"trace":      res.Trace,
+		"violations": res.Violations,
+	}
+	return flight.WriteBundle(d.cfg.FlightDir, b, state, 0)
 }
 
 // mergedEvents interleaves every node's recorder — daemons (including

@@ -34,6 +34,12 @@ type Bundle struct {
 	CollectedAt time.Time      `json:"collected_at"`
 	Group       string         `json:"group,omitempty"`
 	Nodes       []NodeSnapshot `json:"nodes"`
+
+	// Reason and Alerts are set on flight-recorder bundles: what tripped
+	// the dump (an alert rule, a signal, an invariant violation) and the
+	// alert lines active at trigger time. Absent on plain collections.
+	Reason string   `json:"reason,omitempty"`
+	Alerts []string `json:"alerts,omitempty"`
 }
 
 // MergedEvents interleaves every healthy node's trace into one

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// DiffFrom returns the change from prev to s, shaped for incremental
+// export: the live stream ships one full snapshot first (prev = zero
+// value) and then only what moved.
+//
+//   - Counters carry the increment since prev; unchanged counters are
+//     dropped. A counter that went backwards (a restarted process behind
+//     the same endpoint) carries its full new value, so rates degrade to
+//     over-reporting one window instead of going negative.
+//   - Gauges are instantaneous: every current gauge is carried as-is.
+//   - Histograms carry per-bucket increments and the window's
+//     count/mean; histograms with no new observations are dropped.
+//     Min/Max remain lifetime values (the atomic histogram does not
+//     track per-window extrema).
+//
+// Summing a base snapshot with every subsequent diff reproduces the
+// counters and histogram buckets of the final snapshot exactly.
+func (s Snapshot) DiffFrom(prev Snapshot) Snapshot {
+	var out Snapshot
+	for name, v := range s.Counters {
+		d := v - prev.Counters[name]
+		if d < 0 {
+			d = v
+		}
+		if d == 0 {
+			continue
+		}
+		if out.Counters == nil {
+			out.Counters = make(map[string]int64)
+		}
+		out.Counters[name] = d
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		d, changed := diffHistogram(h, prev.Histograms[name])
+		if !changed {
+			continue
+		}
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistogramSnapshot)
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// diffHistogram subtracts prev from cur bucket-wise. Buckets are matched
+// by position and bound; a bound mismatch (a histogram recreated with
+// different buckets) falls back to the full new snapshot.
+func diffHistogram(cur, prev HistogramSnapshot) (HistogramSnapshot, bool) {
+	if prev.Count == 0 {
+		return cur, cur.Count > 0
+	}
+	if cur.Count < prev.Count || len(cur.Buckets) != len(prev.Buckets) {
+		return cur, true
+	}
+	for i := range cur.Buckets {
+		if cur.Buckets[i].LE != prev.Buckets[i].LE {
+			return cur, true
+		}
+	}
+	d := HistogramSnapshot{
+		Count: cur.Count - prev.Count,
+		MinMs: cur.MinMs,
+		MaxMs: cur.MaxMs,
+	}
+	if d.Count == 0 {
+		return HistogramSnapshot{}, false
+	}
+	d.MeanMs = (cur.MeanMs*float64(cur.Count) - prev.MeanMs*float64(prev.Count)) / float64(d.Count)
+	d.Buckets = make([]Bucket, len(cur.Buckets))
+	for i := range cur.Buckets {
+		d.Buckets[i] = Bucket{LE: cur.Buckets[i].LE, Count: cur.Buckets[i].Count - prev.Buckets[i].Count}
+	}
+	return d, true
+}
+
+// AddInto accumulates d's counters and histogram buckets into s (the
+// inverse of DiffFrom, used by the fleet monitor to rebuild cumulative
+// state from a stream of deltas). Gauges are replaced, not summed.
+func (s *Snapshot) AddInto(d Snapshot) {
+	for name, v := range d.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64)
+		}
+		s.Counters[name] += v
+	}
+	for name, v := range d.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]int64)
+		}
+		s.Gauges[name] = v
+	}
+	for name, h := range d.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot)
+		}
+		s.Histograms[name] = mergeHistogram(s.Histograms[name], h)
+	}
+}
+
+// MergeHistograms sums two histogram snapshots bucket-wise — the merge the
+// fleet monitor uses to aggregate per-node rekey-latency histograms into
+// one cluster-wide distribution. Histograms with different bucket layouts
+// cannot be merged; the one with more observations wins.
+func MergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	return mergeHistogram(a, b)
+}
+
+func mergeHistogram(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		if a.Count >= b.Count {
+			return a
+		}
+		return b
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i].LE != b.Buckets[i].LE {
+			if a.Count >= b.Count {
+				return a
+			}
+			return b
+		}
+	}
+	out := HistogramSnapshot{
+		Count:  a.Count + b.Count,
+		MeanMs: (a.MeanMs*float64(a.Count) + b.MeanMs*float64(b.Count)) / float64(a.Count+b.Count),
+		MinMs:  a.MinMs,
+		MaxMs:  a.MaxMs,
+	}
+	if b.MinMs < out.MinMs {
+		out.MinMs = b.MinMs
+	}
+	if b.MaxMs > out.MaxMs {
+		out.MaxMs = b.MaxMs
+	}
+	out.Buckets = make([]Bucket, len(a.Buckets))
+	for i := range a.Buckets {
+		out.Buckets[i] = Bucket{LE: a.Buckets[i].LE, Count: a.Buckets[i].Count + b.Buckets[i].Count}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0..1) in milliseconds from the
+// bucket counts, by linear interpolation within the owning bucket. The
+// overflow bucket has no upper bound; observations there report the
+// histogram's recorded maximum.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	lower := 0.0
+	for _, b := range h.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		upper, ok := bucketBoundMs(b.LE)
+		if !ok {
+			return h.MaxMs
+		}
+		if float64(cum+b.Count) >= rank {
+			frac := (rank - float64(cum)) / float64(b.Count)
+			return lower + (upper-lower)*frac
+		}
+		cum += b.Count
+		lower = upper
+	}
+	return h.MaxMs
+}
+
+// bucketBoundMs parses a snapshot bucket bound (a time.Duration string)
+// into milliseconds; ok is false for the overflow bucket.
+func bucketBoundMs(le string) (float64, bool) {
+	if le == "+Inf" {
+		return 0, false
+	}
+	if d, err := time.ParseDuration(le); err == nil {
+		return float64(d) / 1e6, true
+	}
+	if v, err := strconv.ParseFloat(le, 64); err == nil {
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,284 @@
+// Package flight is the anomaly-triggered flight recorder: when an alert
+// rule fires (or the operator sends SIGQUIT), it freezes everything a
+// post-mortem needs — the full trace ring, a metrics snapshot, goroutine
+// and heap profiles, and whatever runtime state the caller exposes — into
+// one atomically-written bundle directory that `sgctrace report` reads
+// like any collect bundle.
+//
+// Bundles land as <dir>/flight-<stamp>-<reason>/ with bundle.json (the
+// analyze.Bundle schema, plus Reason/Alerts), goroutine.txt, heap.pprof
+// and state.json. The write goes to a temp directory first and is renamed
+// into place, so a watcher (or the retention pruner) never sees a
+// half-written bundle. Retention is capped: oldest flight-* directories
+// are removed beyond MaxBundles.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// DefaultMaxBundles is the retention cap applied when Options.MaxBundles
+// is zero.
+const DefaultMaxBundles = 8
+
+// DefaultMinInterval is the Trigger rate limit applied when
+// Options.MinInterval is zero: a flapping alert produces one bundle per
+// window, not one per evaluation tick.
+const DefaultMinInterval = 30 * time.Second
+
+// Options configures a Recorder.
+type Options struct {
+	// Dir is where bundles are written (created if missing). Required.
+	Dir string
+	// MaxBundles caps retained flight-* directories (default 8).
+	MaxBundles int
+	// MinInterval rate-limits Trigger (default 30s). TriggerForce ignores
+	// it.
+	MinInterval time.Duration
+	// Group stamps the bundle's group for sgctrace report filtering.
+	Group string
+	// State, when set, is serialized as state.json — the place for
+	// peer/supervisor state, daemon status, anything JSON-marshalable.
+	State func() any
+}
+
+// Recorder owns one node's flight-recorder state: its obs scope, the
+// output directory, and the trigger rate limiter.
+type Recorder struct {
+	sc  *obs.Scope
+	opt Options
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// New builds a flight recorder for the scope. It does not touch the
+// filesystem until the first trigger.
+func New(sc *obs.Scope, opt Options) *Recorder {
+	if opt.MaxBundles <= 0 {
+		opt.MaxBundles = DefaultMaxBundles
+	}
+	if opt.MinInterval <= 0 {
+		opt.MinInterval = DefaultMinInterval
+	}
+	return &Recorder{sc: sc, opt: opt}
+}
+
+// Trigger writes a bundle unless one was written within MinInterval; a
+// suppressed trigger returns ("", nil). Returns the bundle directory.
+func (r *Recorder) Trigger(reason string, alerts []string) (string, error) {
+	r.mu.Lock()
+	if !r.last.IsZero() && time.Since(r.last) < r.opt.MinInterval {
+		r.mu.Unlock()
+		return "", nil
+	}
+	r.last = time.Now()
+	r.mu.Unlock()
+	return r.write(reason, alerts)
+}
+
+// TriggerForce writes a bundle unconditionally (SIGQUIT, invariant
+// violations — moments where suppression would hide the evidence).
+func (r *Recorder) TriggerForce(reason string, alerts []string) (string, error) {
+	r.mu.Lock()
+	r.last = time.Now()
+	r.mu.Unlock()
+	return r.write(reason, alerts)
+}
+
+func (r *Recorder) write(reason string, alerts []string) (string, error) {
+	b := &analyze.Bundle{
+		CollectedAt: time.Now(),
+		Group:       r.opt.Group,
+		Reason:      reason,
+		Alerts:      alerts,
+		Nodes: []analyze.NodeSnapshot{{
+			Node:          r.sc.Node,
+			Healthy:       true,
+			Metrics:       r.sc.Reg.Snapshot(),
+			Process:       obs.Default.Snapshot(),
+			TotalRecorded: r.sc.Rec.Total(),
+			Events:        r.sc.Rec.Events(),
+		}},
+	}
+	var state any
+	if r.opt.State != nil {
+		state = r.opt.State()
+	}
+	final, err := WriteBundle(r.opt.Dir, b, state, r.opt.MaxBundles)
+	if err != nil {
+		return "", err
+	}
+	if r.sc != nil && r.sc.Log != nil {
+		r.sc.Log.Infof("flight bundle written: %s (%s)", final, reason)
+	}
+	return final, nil
+}
+
+// WriteBundle atomically writes an already-assembled bundle — plus
+// goroutine and heap profiles, and state as state.json when non-nil —
+// into dir using the flight-<stamp>-<slug> layout, then prunes beyond
+// maxBundles (0 means DefaultMaxBundles). Harnesses that aggregate many
+// nodes into one bundle (the chaos driver) use this directly; Recorder
+// uses it for its single-node bundles.
+func WriteBundle(dir string, b *analyze.Bundle, state any, maxBundles int) (string, error) {
+	if dir == "" {
+		return "", fmt.Errorf("flight: no directory configured")
+	}
+	if maxBundles <= 0 {
+		maxBundles = DefaultMaxBundles
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.MkdirTemp(dir, ".tmp-flight-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	if err := writeJSON(filepath.Join(tmp, "bundle.json"), b); err != nil {
+		return "", err
+	}
+	if f, err := os.Create(filepath.Join(tmp, "goroutine.txt")); err == nil {
+		_ = pprof.Lookup("goroutine").WriteTo(f, 2)
+		f.Close()
+	}
+	if f, err := os.Create(filepath.Join(tmp, "heap.pprof")); err == nil {
+		_ = pprof.Lookup("heap").WriteTo(f, 0)
+		f.Close()
+	}
+	if state != nil {
+		if err := writeJSON(filepath.Join(tmp, "state.json"), state); err != nil {
+			return "", err
+		}
+	}
+
+	stamp := time.Now().UTC().Format("20060102T150405.000")
+	final := filepath.Join(dir, "flight-"+stamp+"-"+slug(b.Reason))
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	prune(dir, maxBundles)
+	return final, nil
+}
+
+// prune removes the oldest flight-* directories beyond the retention cap.
+// The timestamped names sort chronologically.
+func prune(dir string, maxBundles int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var bundles []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") {
+			bundles = append(bundles, e.Name())
+		}
+	}
+	sort.Strings(bundles)
+	for len(bundles) > maxBundles {
+		_ = os.RemoveAll(filepath.Join(dir, bundles[0]))
+		bundles = bundles[1:]
+	}
+}
+
+// AlertSource is one watchdog input: the alert lines currently active
+// (empty when healthy). Sources are polled on the watch interval.
+type AlertSource func() []string
+
+// Watch polls the sources and triggers a bundle when a *new* alert line
+// appears — each distinct alert string fires at most once per Watch run,
+// so a persistent condition does not burn the whole retention budget.
+// Blocks until stop is closed.
+func (r *Recorder) Watch(interval time.Duration, stop <-chan struct{}, sources ...AlertSource) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	seen := make(map[string]bool)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		var active, fresh []string
+		for _, src := range sources {
+			active = append(active, src()...)
+		}
+		for _, a := range active {
+			if !seen[a] {
+				seen[a] = true
+				fresh = append(fresh, a)
+			}
+		}
+		if len(fresh) > 0 {
+			if _, err := r.Trigger("alert: "+fresh[0], active); err != nil && r.sc != nil && r.sc.Log != nil {
+				r.sc.Log.Errorf("flight bundle failed: %v", err)
+			}
+		}
+	}
+}
+
+// AnomalySource adapts the analyze detectors into an AlertSource over the
+// scope's own ring: the same rules sgcmon evaluates fleet-wide, evaluated
+// locally so a lone daemon still self-records.
+func AnomalySource(sc *obs.Scope, opt analyze.Options) AlertSource {
+	return func() []string {
+		var out []string
+		for _, a := range analyze.DetectAnomalies(sc.Rec.Events(), opt) {
+			out = append(out, a.String())
+		}
+		return out
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// slug compresses a reason into a filesystem-safe directory suffix.
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteByte('-')
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	out := strings.Trim(b.String(), "-")
+	if out == "" {
+		return "manual"
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package flight
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+func newRecorder(t *testing.T, opt Options) (*Recorder, *obs.Scope) {
+	t.Helper()
+	sc := obs.NewScope("d1", "test")
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	return New(sc, opt), sc
+}
+
+func readBundle(t *testing.T, dir string) *analyze.Bundle {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "bundle.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b analyze.Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	return &b
+}
+
+func TestTriggerWritesCompleteBundle(t *testing.T) {
+	r, sc := newRecorder(t, Options{Group: "g", State: func() any {
+		return map[string]int{"peers_down": 1}
+	}})
+	sc.Reg.Counter("work").Add(7)
+	sc.Record(obs.Event{Comp: "test", Kind: "view-install", Group: "g"})
+	sc.Record(obs.Event{Comp: "test", Kind: "key-install", Group: "g"})
+
+	dir, err := r.TriggerForce("wedged flush", []string{"d1: wedged-flush"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(filepath.Base(dir), "wedged-flush") {
+		t.Fatalf("bundle dir %q should carry the reason slug", dir)
+	}
+
+	b := readBundle(t, dir)
+	if b.Reason != "wedged flush" || len(b.Alerts) != 1 {
+		t.Fatalf("bundle reason/alerts = %q/%v", b.Reason, b.Alerts)
+	}
+	if b.Group != "g" || len(b.Nodes) != 1 || b.Nodes[0].Node != "d1" {
+		t.Fatalf("bundle shape wrong: %+v", b)
+	}
+	n := b.Nodes[0]
+	if !n.Healthy || n.Metrics.Counters["work"] != 7 || n.TotalRecorded != 2 || len(n.Events) != 2 {
+		t.Fatalf("node snapshot incomplete: %+v", n)
+	}
+	if evs := b.MergedEvents(); len(evs) != 2 || evs[0].Kind != "view-install" {
+		t.Fatalf("bundle must merge like a collect bundle, got %v", evs)
+	}
+
+	// The side artifacts exist and have content.
+	for _, f := range []string{"goroutine.txt", "heap.pprof", "state.json"} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty (err=%v)", f, err)
+		}
+	}
+	gr, _ := os.ReadFile(filepath.Join(dir, "goroutine.txt"))
+	if !strings.Contains(string(gr), "goroutine") {
+		t.Fatalf("goroutine.txt is not a goroutine dump")
+	}
+	var state map[string]int
+	data, _ := os.ReadFile(filepath.Join(dir, "state.json"))
+	if json.Unmarshal(data, &state) != nil || state["peers_down"] != 1 {
+		t.Fatalf("state.json = %s", data)
+	}
+
+	// No temp-dir litter.
+	entries, _ := os.ReadDir(r.opt.Dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp dir %s left behind", e.Name())
+		}
+	}
+}
+
+func TestTriggerRateLimitAndForce(t *testing.T) {
+	r, _ := newRecorder(t, Options{MinInterval: time.Hour})
+	first, err := r.Trigger("one", nil)
+	if err != nil || first == "" {
+		t.Fatalf("first trigger = %q, %v", first, err)
+	}
+	second, err := r.Trigger("two", nil)
+	if err != nil || second != "" {
+		t.Fatalf("rate-limited trigger should be suppressed, got %q, %v", second, err)
+	}
+	forced, err := r.TriggerForce("three", nil)
+	if err != nil || forced == "" {
+		t.Fatalf("forced trigger = %q, %v", forced, err)
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	r, _ := newRecorder(t, Options{MaxBundles: 3, MinInterval: time.Nanosecond})
+	var dirs []string
+	for i := 0; i < 5; i++ {
+		d, err := r.TriggerForce("spam", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, d)
+		time.Sleep(2 * time.Millisecond) // distinct stamps
+	}
+	entries, _ := os.ReadDir(r.opt.Dir)
+	var kept []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "flight-") {
+			kept = append(kept, e.Name())
+		}
+	}
+	if len(kept) != 3 {
+		t.Fatalf("retained %d bundles, want 3: %v", len(kept), kept)
+	}
+	// The newest survive.
+	for _, d := range dirs[2:] {
+		if _, err := os.Stat(d); err != nil {
+			t.Fatalf("newest bundle %s pruned: %v", d, err)
+		}
+	}
+	if _, err := os.Stat(dirs[0]); !os.IsNotExist(err) {
+		t.Fatalf("oldest bundle %s should be pruned", dirs[0])
+	}
+}
+
+func TestWatchFiresOncePerDistinctAlert(t *testing.T) {
+	r, _ := newRecorder(t, Options{MinInterval: time.Nanosecond})
+	alerts := make(chan []string, 16)
+	src := func() []string {
+		select {
+		case a := <-alerts:
+			return a
+		default:
+			return nil
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Watch(time.Millisecond, stop, src)
+	}()
+
+	count := func() int {
+		entries, _ := os.ReadDir(r.opt.Dir)
+		n := 0
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "flight-") {
+				n++
+			}
+		}
+		return n
+	}
+	waitFor := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for count() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("bundles = %d, want %d", count(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	alerts <- []string{"d1: wedged-flush"}
+	waitFor(1)
+	// The same alert again: no new bundle.
+	alerts <- []string{"d1: wedged-flush"}
+	time.Sleep(20 * time.Millisecond)
+	if count() != 1 {
+		t.Fatalf("repeated alert re-fired: %d bundles", count())
+	}
+	// A distinct alert fires again and carries the active set.
+	alerts <- []string{"d1: wedged-flush", "d2: kga-stall"}
+	waitFor(2)
+	close(stop)
+	<-done
+
+	entries, _ := os.ReadDir(r.opt.Dir)
+	var latest string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "flight-") && e.Name() > latest {
+			latest = e.Name()
+		}
+	}
+	b := readBundle(t, filepath.Join(r.opt.Dir, latest))
+	if len(b.Alerts) != 2 || !strings.HasPrefix(b.Reason, "alert: ") {
+		t.Fatalf("watch bundle reason/alerts = %q/%v", b.Reason, b.Alerts)
+	}
+}
+
+func TestAnomalySource(t *testing.T) {
+	sc := obs.NewScope("d1", "test")
+	base := time.Now().Add(-time.Minute)
+	sc.Record(obs.Event{Comp: "flush", Kind: "vs-view-install", Group: "g", View: "v1", T: base})
+	// The trace runs on with no key install: the detector should fire.
+	sc.Record(obs.Event{Comp: "test", Kind: "tick", T: base.Add(10 * time.Second)})
+	src := AnomalySource(sc, analyze.Options{StallThreshold: time.Second})
+	out := src()
+	if len(out) == 0 {
+		t.Fatalf("anomaly source saw nothing on a wedged trace")
+	}
+	found := false
+	for _, a := range out {
+		if strings.Contains(a, "no-key-install") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alerts %v missing no-key-install", out)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("alert: d1 Wedged-Flush!"); got != "alert--d1-wedged-flush" {
+		t.Fatalf("slug = %q", got)
+	}
+	if got := slug("///"); got != "manual" {
+		t.Fatalf("empty slug = %q", got)
+	}
+}

@@ -4,20 +4,28 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // Live introspection endpoints (cmd/spreadd -debug-addr):
 //
 //	/metrics          expvar-style JSON: the node's registry plus the
-//	                  process-global Default registry; &format=prom
+//	                  process-global Default registry (runtime gauges are
+//	                  sampled into Default on every scrape); &format=prom
 //	                  renders Prometheus text exposition instead
 //	/trace?group=G    the node's recent causal event ring, optionally
-//	                  filtered to one group; &text=1 renders plain lines
-//	/healthz          liveness probe
+//	                  filtered to one group; &text=1 renders plain lines;
+//	                  &since=SEQ returns only events past the cursor with
+//	                  an explicit truncated marker when the ring wrapped
+//	                  past it
+//	/healthz          liveness probe: 200 while the process serves
+//	/readyz           readiness probe: 503 with a JSON reason while the
+//	                  node is degraded (see WithReadiness)
 //	/debug/pprof/     the standard runtime profiles
 //
 // All responses are well-formed JSON except /metrics?format=prom,
-// /trace?text=1 and the pprof pages.
+// /trace?text=1 and the pprof pages. The live streaming endpoint
+// (/events, SSE) is attached by internal/obs/stream onto the same mux.
 
 // MetricsPayload is the /metrics JSON response shape. sgctrace decodes it
 // when collecting snapshot bundles from a live cluster.
@@ -27,12 +35,17 @@ type MetricsPayload struct {
 	Process Snapshot `json:"process"`
 }
 
-// TracePayload is the /trace JSON response shape.
+// TracePayload is the /trace JSON response shape. NextSince and Truncated
+// are only meaningful for cursor reads (?since=SEQ): NextSince is the
+// cursor to resume from, Truncated reports that the ring wrapped past the
+// cursor and events were lost before they could be read.
 type TracePayload struct {
-	Node   string  `json:"node"`
-	Group  string  `json:"group,omitempty"`
-	Total  uint64  `json:"total_recorded"`
-	Events []Event `json:"events"`
+	Node      string  `json:"node"`
+	Group     string  `json:"group,omitempty"`
+	Total     uint64  `json:"total_recorded"`
+	Events    []Event `json:"events"`
+	NextSince uint64  `json:"next_since,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -42,11 +55,30 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// MuxOption extends the debug handler built by Mux.
+type MuxOption func(*muxConfig)
+
+type muxConfig struct {
+	ready func() error
+}
+
+// WithReadiness installs the /readyz probe: fn is called per request and
+// a non-nil error renders 503 with the error as the JSON reason. Without
+// it /readyz mirrors /healthz (an undegradeable node is always ready).
+func WithReadiness(fn func() error) MuxOption {
+	return func(c *muxConfig) { c.ready = fn }
+}
+
 // Mux builds the debug HTTP handler for one node's scope.
-func Mux(sc *Scope) *http.ServeMux {
+func Mux(sc *Scope, opts ...MuxOption) *http.ServeMux {
+	var cfg muxConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		SampleRuntime(Default)
 		p := MetricsPayload{Node: sc.Node, Process: Default.Snapshot()}
 		if sc.Reg != nil {
 			p.Metrics = sc.Reg.Snapshot()
@@ -62,25 +94,53 @@ func Mux(sc *Scope) *http.ServeMux {
 	})
 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		group := r.URL.Query().Get("group")
-		events := sc.Rec.GroupEvents(group)
-		if r.URL.Query().Get("text") != "" {
+		q := r.URL.Query()
+		group := q.Get("group")
+		p := TracePayload{Node: sc.Node, Group: group}
+		if sinceArg := q.Get("since"); sinceArg != "" {
+			since, err := strconv.ParseUint(sinceArg, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			events, next, truncated := sc.Rec.EventsSince(since)
+			p.Events, p.NextSince, p.Truncated = filterGroupEvents(events, group), next, truncated
+			p.Total = next
+		} else {
+			p.Events = sc.Rec.GroupEvents(group)
+			p.Total = sc.Rec.Total()
+		}
+		if q.Get("text") != "" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			for _, e := range events {
+			if p.Truncated {
+				_, _ = w.Write([]byte("... (ring wrapped past cursor: events lost)\n"))
+			}
+			for _, e := range p.Events {
 				_, _ = w.Write([]byte(e.String() + "\n"))
 			}
 			return
 		}
-		writeJSON(w, TracePayload{
-			Node:   sc.Node,
-			Group:  group,
-			Total:  sc.Rec.Total(),
-			Events: events,
-		})
+		writeJSON(w, p)
 	})
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok", "node": sc.Node})
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.ready != nil {
+			if err := cfg.ready(); err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(map[string]string{
+					"status": "degraded", "node": sc.Node, "reason": err.Error(),
+				})
+				return
+			}
+		}
+		writeJSON(w, map[string]string{"status": "ready", "node": sc.Node})
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -90,4 +150,19 @@ func Mux(sc *Scope) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// filterGroupEvents applies the /trace group filter to a cursor read:
+// group-less events (daemon view installs) stay, as in GroupEvents.
+func filterGroupEvents(events []Event, group string) []Event {
+	if group == "" {
+		return events
+	}
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Group == "" || e.Group == group {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -1,0 +1,408 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEventsSinceCursor pins the incremental-read contract the live
+// stream depends on: a cursor inside the retained window reads exactly
+// the new events, a cursor the ring wrapped past gets an explicit
+// truncated marker, and an up-to-date cursor reads nothing.
+func TestEventsSinceCursor(t *testing.T) {
+	r := NewRecorder("n1", 8)
+	for i := 1; i <= 20; i++ {
+		r.Record(Event{Comp: "test", Kind: fmt.Sprintf("ev-%d", i)})
+	}
+	// Retained: seqs 13..20.
+	evs, next, truncated := r.EventsSince(12)
+	if truncated {
+		t.Fatalf("cursor 12 is the newest overwritten seq; want truncated=false, got true")
+	}
+	if len(evs) != 8 || evs[0].Seq != 13 || evs[7].Seq != 20 || next != 20 {
+		t.Fatalf("EventsSince(12) = %d events [%d..%d] next=%d, want 8 [13..20] next=20",
+			len(evs), evs[0].Seq, evs[len(evs)-1].Seq, next)
+	}
+
+	evs, next, truncated = r.EventsSince(5)
+	if !truncated {
+		t.Fatalf("cursor 5 was overwritten; want truncated=true")
+	}
+	if len(evs) != 8 || evs[0].Seq != 13 || next != 20 {
+		t.Fatalf("EventsSince(5) = %d events first=%d next=%d, want 8 first=13 next=20",
+			len(evs), evs[0].Seq, next)
+	}
+
+	evs, next, truncated = r.EventsSince(17)
+	if truncated || len(evs) != 3 || evs[0].Seq != 18 {
+		t.Fatalf("EventsSince(17) = %d events first=%d truncated=%v, want 3 first=18 false",
+			len(evs), evs[0].Seq, truncated)
+	}
+
+	evs, next, truncated = r.EventsSince(20)
+	if truncated || len(evs) != 0 || next != 20 {
+		t.Fatalf("EventsSince(20) = %d events next=%d truncated=%v, want 0 next=20 false",
+			len(evs), next, truncated)
+	}
+
+	// A reader resuming from next never re-reads or misses events.
+	r.Record(Event{Comp: "test", Kind: "ev-21"})
+	evs, _, truncated = r.EventsSince(next)
+	if truncated || len(evs) != 1 || evs[0].Kind != "ev-21" {
+		t.Fatalf("resume from %d = %d events, want exactly ev-21", next, len(evs))
+	}
+}
+
+// TestTraceSinceEndpoint drives the wraparound contract through the live
+// /trace?since= endpoint: a wrapped cursor must yield an explicit
+// truncated marker in the payload, not silently missing events.
+func TestTraceSinceEndpoint(t *testing.T) {
+	sc := NewScope("n1", "test", WithTraceCap(4))
+	for i := 1; i <= 10; i++ {
+		sc.Record(Event{Comp: "test", Kind: fmt.Sprintf("ev-%d", i)})
+	}
+	srv := httptest.NewServer(Mux(sc))
+	defer srv.Close()
+
+	get := func(url string) TracePayload {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var p TracePayload
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p := get(srv.URL + "/trace?since=2")
+	if !p.Truncated {
+		t.Fatalf("cursor 2 wrapped (retained 7..10); want truncated=true, got %+v", p)
+	}
+	if len(p.Events) != 4 || p.Events[0].Seq != 7 || p.NextSince != 10 {
+		t.Fatalf("since=2: %d events first=%d next=%d, want 4 first=7 next=10",
+			len(p.Events), p.Events[0].Seq, p.NextSince)
+	}
+
+	p = get(srv.URL + "/trace?since=8")
+	if p.Truncated || len(p.Events) != 2 {
+		t.Fatalf("since=8: truncated=%v events=%d, want false 2", p.Truncated, len(p.Events))
+	}
+
+	// A full read (no cursor) keeps the legacy shape.
+	p = get(srv.URL + "/trace")
+	if p.Truncated || len(p.Events) != 4 || p.Total != 10 {
+		t.Fatalf("full read: truncated=%v events=%d total=%d", p.Truncated, len(p.Events), p.Total)
+	}
+
+	resp, err := http.Get(srv.URL + "/trace?since=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSnapshotDiffFrom(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(5)
+	reg.Counter("b").Add(2)
+	reg.Gauge("g").Set(7)
+	reg.Histogram("h", []time.Duration{time.Millisecond, 10 * time.Millisecond}).Observe(500 * time.Microsecond)
+	prev := reg.Snapshot()
+
+	reg.Counter("a").Add(3)
+	reg.Gauge("g").Set(9)
+	h := reg.Histogram("h", nil)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	cur := reg.Snapshot()
+
+	d := cur.DiffFrom(prev)
+	if d.Counters["a"] != 3 {
+		t.Fatalf("counter a delta = %d, want 3", d.Counters["a"])
+	}
+	if _, ok := d.Counters["b"]; ok {
+		t.Fatalf("unchanged counter b must be dropped from the delta")
+	}
+	if d.Gauges["g"] != 9 {
+		t.Fatalf("gauge g = %d, want instantaneous 9", d.Gauges["g"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 2 {
+		t.Fatalf("histogram delta count = %d, want 2", hd.Count)
+	}
+	wantBuckets := []int64{0, 1, 1} // <=1ms, <=10ms, +Inf
+	for i, b := range hd.Buckets {
+		if b.Count != wantBuckets[i] {
+			t.Fatalf("bucket %d delta = %d, want %d", i, b.Count, wantBuckets[i])
+		}
+	}
+	if got := hd.MeanMs; got < 12.4 || got > 12.6 {
+		t.Fatalf("delta mean = %v ms, want 12.5", got)
+	}
+
+	// Base + every delta reproduces the final counters and buckets.
+	var acc Snapshot
+	acc.AddInto(prev)
+	acc.AddInto(d)
+	if acc.Counters["a"] != 8 || acc.Counters["b"] != 2 {
+		t.Fatalf("accumulated counters = %v, want a=8 b=2", acc.Counters)
+	}
+	if acc.Histograms["h"].Count != 3 {
+		t.Fatalf("accumulated histogram count = %d, want 3", acc.Histograms["h"].Count)
+	}
+
+	// Diff against the zero snapshot is the full snapshot (the stream's
+	// first frame).
+	full := cur.DiffFrom(Snapshot{})
+	if full.Counters["a"] != 8 || full.Histograms["h"].Count != 3 {
+		t.Fatalf("diff from zero must carry full values, got %v", full)
+	}
+
+	// A counter that went backwards (restart) carries its new value.
+	lower := Snapshot{Counters: map[string]int64{"a": 1}}
+	if got := lower.DiffFrom(cur).Counters["a"]; got != 1 {
+		t.Fatalf("reset counter delta = %d, want full new value 1", got)
+	}
+}
+
+func TestHistogramMergeAndQuantile(t *testing.T) {
+	mk := func(obs ...time.Duration) HistogramSnapshot {
+		reg := NewRegistry()
+		h := reg.Histogram("h", []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+		for _, d := range obs {
+			h.Observe(d)
+		}
+		return reg.Snapshot().Histograms["h"]
+	}
+	a := mk(500*time.Microsecond, 2*time.Millisecond)
+	b := mk(5*time.Millisecond, 50*time.Millisecond, 200*time.Millisecond)
+	m := MergeHistograms(a, b)
+	if m.Count != 5 {
+		t.Fatalf("merged count = %d, want 5", m.Count)
+	}
+	if m.MinMs != 0.5 || m.MaxMs != 200 {
+		t.Fatalf("merged min/max = %v/%v, want 0.5/200", m.MinMs, m.MaxMs)
+	}
+	var sum int64
+	for _, bk := range m.Buckets {
+		sum += bk.Count
+	}
+	if sum != 5 {
+		t.Fatalf("merged bucket counts sum to %d, want 5", sum)
+	}
+
+	// Quantiles interpolate within the owning bucket and clamp at the
+	// recorded maximum for the overflow bucket.
+	if q := m.Quantile(0); q < 0 || q > 1 {
+		t.Fatalf("q0 = %v, want within first occupied bucket [0,1]ms", q)
+	}
+	if q := m.Quantile(1); q != 200 {
+		t.Fatalf("q1 = %v, want the recorded max 200", q)
+	}
+	mid := m.Quantile(0.5)
+	if mid <= 1 || mid > 10 {
+		t.Fatalf("q0.5 = %v, want inside the (1,10]ms bucket", mid)
+	}
+	if e := (HistogramSnapshot{}).Quantile(0.5); e != 0 {
+		t.Fatalf("empty quantile = %v, want 0", e)
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	reg := NewRegistry()
+	SampleRuntime(reg)
+	s := reg.Snapshot()
+	if s.Gauges["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %d, want >= 1", s.Gauges["go_goroutines"])
+	}
+	if s.Gauges["go_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %d, want > 0", s.Gauges["go_heap_alloc_bytes"])
+	}
+	if _, ok := s.Counters["go_gc_pauses_total"]; !ok {
+		t.Fatalf("go_gc_pauses_total missing: %v", s.Counters)
+	}
+	// Resampling must keep the GC counter monotonic, never double-add.
+	before := reg.Counter("go_gc_pauses_total").Value()
+	SampleRuntime(reg)
+	SampleRuntime(reg)
+	after := reg.Counter("go_gc_pauses_total").Value()
+	if after < before {
+		t.Fatalf("gc counter went backwards: %d -> %d", before, after)
+	}
+}
+
+// TestMetricsScrapeSamplesRuntime pins the satellite contract: every
+// /metrics scrape carries the runtime gauges in both expositions.
+func TestMetricsScrapeSamplesRuntime(t *testing.T) {
+	sc := NewScope("n1", "test")
+	srv := httptest.NewServer(Mux(sc))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p MetricsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if p.Process.Gauges["go_goroutines"] < 1 {
+		t.Fatalf("JSON scrape missing go_goroutines: %v", p.Process.Gauges)
+	}
+	if p.Process.Gauges["go_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("JSON scrape missing go_heap_alloc_bytes")
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pauses_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("prom scrape missing %s:\n%s", want, raw)
+		}
+	}
+}
+
+// TestHealthzReadyzSplit covers both probe states: liveness always
+// answers 200, readiness flips to 503 with a JSON reason while degraded.
+func TestHealthzReadyzSplit(t *testing.T) {
+	sc := NewScope("n1", "test")
+	degraded := fmt.Errorf("2 peer link(s) down: [d2 d3]")
+	var fail bool
+	srv := httptest.NewServer(Mux(sc, WithReadiness(func() error {
+		if fail {
+			return degraded
+		}
+		return nil
+	})))
+	defer srv.Close()
+
+	check := func(path string, wantStatus int, wantBody string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s status = %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: non-JSON body: %v", path, err)
+		}
+		if got := body["status"]; got != wantBody {
+			t.Fatalf("GET %s status field = %q, want %q", path, got, wantBody)
+		}
+		if wantStatus == http.StatusServiceUnavailable && body["reason"] != degraded.Error() {
+			t.Fatalf("degraded reason = %q, want %q", body["reason"], degraded)
+		}
+	}
+
+	check("/healthz", http.StatusOK, "ok")
+	check("/readyz", http.StatusOK, "ready")
+	fail = true
+	check("/healthz", http.StatusOK, "ok") // liveness ignores degradation
+	check("/readyz", http.StatusServiceUnavailable, "degraded")
+	fail = false
+	check("/readyz", http.StatusOK, "ready")
+
+	// Without a readiness hook the probe mirrors liveness.
+	plain := httptest.NewServer(Mux(sc))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz without hook = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte against the
+// 0.0.4 text format: cumulative buckets ending in +Inf, _sum/_count pairs,
+// label escaping for detail-derived names, full-precision sub-microsecond
+// bounds, and family-name sanitization.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(LabelName("wire_sent", `he said "hi"\n`)).Add(3)
+	reg.Counter("plain_total").Add(7)
+	reg.Gauge("spread.clients").Set(2)
+	h := reg.Histogram("tiny_latency", []time.Duration{250 * time.Nanosecond, 500 * time.Nanosecond, time.Millisecond})
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(400 * time.Nanosecond)
+	h.Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	WritePrometheus(&b, reg.Snapshot())
+
+	want := `# TYPE plain_total counter
+plain_total 7
+# TYPE wire_sent counter
+wire_sent{label="he said \"hi\"\\n"} 3
+# TYPE spread_clients gauge
+spread_clients 2
+# TYPE tiny_latency_seconds histogram
+tiny_latency_seconds_bucket{le="2.5e-07"} 1
+tiny_latency_seconds_bucket{le="5e-07"} 2
+tiny_latency_seconds_bucket{le="0.001"} 2
+tiny_latency_seconds_bucket{le="+Inf"} 3
+tiny_latency_seconds_sum 0.0020005
+tiny_latency_seconds_count 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestWritePrometheusCrossKindFamily pins the audit fix: a counter and a
+// gauge sharing one name must not both emit — duplicate family names with
+// conflicting TYPE lines are invalid exposition. First kind wins.
+func TestWritePrometheusCrossKindFamily(t *testing.T) {
+	snap := Snapshot{
+		Counters: map[string]int64{"x": 1},
+		Gauges:   map[string]int64{"x": 2},
+	}
+	var b strings.Builder
+	WritePrometheus(&b, snap)
+	out := b.String()
+	if strings.Count(out, "# TYPE x ") != 1 {
+		t.Fatalf("family x must have exactly one TYPE line:\n%s", out)
+	}
+
+	// A histogram named "x" plus a counter named "x_seconds" collide on
+	// the rendered family; the histogram claims it first.
+	reg := NewRegistry()
+	reg.Histogram("x", nil).Observe(time.Millisecond)
+	reg.Counter("x_seconds").Add(9)
+	b.Reset()
+	WritePrometheus(&b, reg.Snapshot())
+	out = b.String()
+	if strings.Contains(out, "# TYPE x_seconds counter") {
+		t.Fatalf("counter x_seconds must lose the family to the histogram:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE x_seconds histogram") {
+		t.Fatalf("histogram family missing:\n%s", out)
+	}
+}

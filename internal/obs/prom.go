@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -83,25 +84,36 @@ func leSeconds(le string) string {
 	return formatFloat(d.Seconds())
 }
 
+// formatFloat renders an exposition float with full precision: %g keeps
+// sub-microsecond bucket bounds distinct (a fixed %f would collapse 250ns
+// and 500ns both to "0.000000" — duplicate le labels are invalid) and
+// preserves _sum precision.
 func formatFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // WritePrometheus renders one or more snapshots as Prometheus text
 // exposition. When several snapshots carry the same metric family (a node
-// registry shadowing the process registry), the earliest snapshot wins:
-// duplicate families are invalid exposition.
+// registry shadowing the process registry), the earliest snapshot wins;
+// ownership is keyed on the final rendered family name across metric
+// kinds, so a counter and a gauge sharing a name — or a histogram whose
+// "_seconds" suffix collides with a counter — cannot emit two TYPE lines
+// for one family: duplicate families are invalid exposition.
 func WritePrometheus(w io.Writer, snaps ...Snapshot) {
 	type ctrVal struct {
 		s promSeries
 		v int64
 	}
-	seenFamily := make(map[string]int) // family -> snapshot index that owns it
-	own := func(family string, idx int) bool {
+	type owner struct {
+		kind string
+		idx  int
+	}
+	seenFamily := make(map[string]owner) // rendered family -> kind+snapshot that owns it
+	own := func(family, kind string, idx int) bool {
 		if prev, ok := seenFamily[family]; ok {
-			return prev == idx
+			return prev == owner{kind, idx}
 		}
-		seenFamily[family] = idx
+		seenFamily[family] = owner{kind, idx}
 		return true
 	}
 
@@ -112,23 +124,27 @@ func WritePrometheus(w io.Writer, snaps ...Snapshot) {
 	}
 	var hists []histVal
 
+	// Histograms claim their rendered family first: a histogram is three
+	// series, so losing one to a same-named counter costs the most.
+	for idx, snap := range snaps {
+		for name, h := range snap.Histograms {
+			s := splitLabel(name)
+			if own(promName(s.name)+"_seconds", "histogram", idx) {
+				hists = append(hists, histVal{s, h})
+			}
+		}
+	}
 	for idx, snap := range snaps {
 		for name, v := range snap.Counters {
 			s := splitLabel(name)
-			if own("c:"+s.name, idx) {
+			if own(promName(s.name), "counter", idx) {
 				counters = append(counters, ctrVal{s, v})
 			}
 		}
 		for name, v := range snap.Gauges {
 			s := splitLabel(name)
-			if own("g:"+s.name, idx) {
+			if own(promName(s.name), "gauge", idx) {
 				gauges = append(gauges, ctrVal{s, v})
-			}
-		}
-		for name, h := range snap.Histograms {
-			s := splitLabel(name)
-			if own("h:"+s.name, idx) {
-				hists = append(hists, histVal{s, h})
 			}
 		}
 	}

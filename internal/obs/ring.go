@@ -162,6 +162,39 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// EventsSince returns the retained events with sequence numbers beyond
+// the cursor, oldest first — an incremental read for live streaming. next
+// is the cursor to resume from (the recorder's total at read time).
+// truncated reports that events between the cursor and the oldest retained
+// event were overwritten before they could be read: the ring wrapped past
+// the reader, so the gap is explicit rather than silently missing.
+func (r *Recorder) EventsSince(since uint64) (events []Event, next uint64, truncated bool) {
+	if r == nil {
+		return nil, since, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	cap64 := uint64(len(r.buf))
+	oldest := uint64(1)
+	if n > cap64 {
+		oldest = n - cap64 + 1
+	}
+	start := since + 1
+	if start < oldest {
+		truncated = true
+		start = oldest
+	}
+	if start > n {
+		return nil, n, truncated
+	}
+	events = make([]Event, 0, n-start+1)
+	for s := start; s <= n; s++ {
+		events = append(events, r.buf[(s-1)%cap64])
+	}
+	return events, n, truncated
+}
+
 // GroupEvents returns the retained events concerning the group (events
 // with no group, like daemon view installs, are included: they are causal
 // context for every group), oldest first.

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runtime health gauges, sampled into a registry on demand (the /metrics
+// handler samples into Default on every scrape, so both the JSON and the
+// Prometheus expositions carry them without a background goroutine).
+const (
+	runtimeGoroutines = "go_goroutines"
+	runtimeHeapAlloc  = "go_heap_alloc_bytes"
+	runtimeGCPauses   = "go_gc_pauses_total"
+)
+
+var runtimeSampleMu sync.Mutex
+
+// SampleRuntime samples the process runtime into reg: the live goroutine
+// count, the heap allocation size, and the cumulative GC pause (stop-the-
+// world) count. The GC count is exposed as a monotonic counter; sampling
+// is serialized so concurrent scrapes cannot double-add an increment.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runtimeSampleMu.Lock()
+	defer runtimeSampleMu.Unlock()
+	reg.Gauge(runtimeGoroutines).Set(int64(runtime.NumGoroutine()))
+	reg.Gauge(runtimeHeapAlloc).Set(int64(ms.HeapAlloc))
+	c := reg.Counter(runtimeGCPauses)
+	if d := int64(ms.NumGC) - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}

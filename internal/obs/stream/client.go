@@ -1,0 +1,192 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Msg is one parsed message from a subscription. Exactly one payload
+// field matches Kind; the pseudo-kinds "disconnect" (stream lost, will
+// retry) and "error" (unparseable frame, skipped) carry Err.
+type Msg struct {
+	Kind    string
+	Hello   *Hello
+	Events  []obs.Event
+	Trunc   *Truncation
+	Metrics *MetricsDelta
+	Err     error
+}
+
+// SubOptions tunes a subscription.
+type SubOptions struct {
+	// Since is the starting trace cursor (0 = full retained backfill).
+	Since uint64
+	// Group filters trace events server-side.
+	Group string
+	// NoMetrics disables the periodic metric-delta frames.
+	NoMetrics bool
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 200ms
+	// and 5s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Client is the HTTP client to dial with (default http.DefaultClient;
+	// it must not set a Timeout, which would cut the stream off).
+	Client *http.Client
+}
+
+func (o SubOptions) withDefaults() SubOptions {
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 200 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// Subscribe opens a reconnecting subscription to baseURL/events and
+// returns the message channel. The subscription redials with capped
+// exponential backoff whenever the stream drops, resuming from the last
+// trace cursor it saw — the server's truncated frames make any loss
+// across the gap explicit. The channel closes when ctx is done.
+func Subscribe(ctx context.Context, baseURL string, opt SubOptions) <-chan Msg {
+	opt = opt.withDefaults()
+	out := make(chan Msg, 64)
+	go func() {
+		defer close(out)
+		cursor := opt.Since
+		backoff := opt.BackoffMin
+		for {
+			err := consume(ctx, baseURL, opt, &cursor, out, func() { backoff = opt.BackoffMin })
+			if ctx.Err() != nil {
+				return
+			}
+			if !emit(ctx, out, Msg{Kind: "disconnect", Err: err}) {
+				return
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			if backoff *= 2; backoff > opt.BackoffMax {
+				backoff = opt.BackoffMax
+			}
+		}
+	}()
+	return out
+}
+
+// consume runs one connection: dial, parse frames, forward messages,
+// track the cursor. Returns the terminal error (EOF included).
+func consume(ctx context.Context, baseURL string, opt SubOptions, cursor *uint64, out chan<- Msg, onConnect func()) error {
+	url := fmt.Sprintf("%s/events?since=%d", strings.TrimRight(baseURL, "/"), *cursor)
+	if opt.Group != "" {
+		url += "&group=" + opt.Group
+	}
+	if opt.NoMetrics {
+		url += "&metrics=0"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	onConnect()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	var event string
+	var data []string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event != "" || len(data) > 0 {
+				msg := parseFrame(event, strings.Join(data, "\n"))
+				if msg.Kind == KindTrace && len(msg.Events) > 0 {
+					*cursor = msg.Events[len(msg.Events)-1].Seq
+				}
+				if msg.Kind == KindTruncated && msg.Trunc != nil && msg.Trunc.Resumed > *cursor {
+					// The gap is already lost; don't re-request it.
+					*cursor = msg.Trunc.Resumed - 1
+				}
+				if !emit(ctx, out, msg) {
+					return ctx.Err()
+				}
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, ":"):
+			// comment / keepalive
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended")
+}
+
+func parseFrame(event, data string) Msg {
+	fail := func(err error) Msg {
+		return Msg{Kind: "error", Err: fmt.Errorf("frame %q: %w", event, err)}
+	}
+	switch event {
+	case KindHello:
+		var h Hello
+		if err := json.Unmarshal([]byte(data), &h); err != nil {
+			return fail(err)
+		}
+		return Msg{Kind: KindHello, Hello: &h}
+	case KindTrace:
+		var evs []obs.Event
+		if err := json.Unmarshal([]byte(data), &evs); err != nil {
+			return fail(err)
+		}
+		return Msg{Kind: KindTrace, Events: evs}
+	case KindTruncated:
+		var tr Truncation
+		if err := json.Unmarshal([]byte(data), &tr); err != nil {
+			return fail(err)
+		}
+		return Msg{Kind: KindTruncated, Trunc: &tr}
+	case KindMetrics:
+		var md MetricsDelta
+		if err := json.Unmarshal([]byte(data), &md); err != nil {
+			return fail(err)
+		}
+		return Msg{Kind: KindMetrics, Metrics: &md}
+	}
+	return fail(fmt.Errorf("unknown event kind"))
+}
+
+func emit(ctx context.Context, out chan<- Msg, m Msg) bool {
+	select {
+	case out <- m:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

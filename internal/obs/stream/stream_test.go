@@ -1,0 +1,249 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newServer(t *testing.T, sc *obs.Scope, opt Options) *httptest.Server {
+	t.Helper()
+	mux := obs.Mux(sc)
+	Attach(mux, sc, opt)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// collect drains msgs until pred says stop or the deadline passes.
+func collect(t *testing.T, msgs <-chan Msg, timeout time.Duration, pred func([]Msg) bool) []Msg {
+	t.Helper()
+	var got []Msg
+	deadline := time.After(timeout)
+	for {
+		select {
+		case m, ok := <-msgs:
+			if !ok {
+				return got
+			}
+			got = append(got, m)
+			if pred(got) {
+				return got
+			}
+		case <-deadline:
+			return got
+		}
+	}
+}
+
+func seqs(msgs []Msg) []uint64 {
+	var out []uint64
+	for _, m := range msgs {
+		for _, e := range m.Events {
+			out = append(out, e.Seq)
+		}
+	}
+	return out
+}
+
+// TestStreamRoundTrip subscribes to a live scope and checks the full
+// frame vocabulary: hello, the metrics opening snapshot, trace backfill,
+// then incremental trace events and metric deltas as the node works.
+func TestStreamRoundTrip(t *testing.T) {
+	sc := obs.NewScope("d1", "test")
+	sc.Reg.Counter("work_done").Add(5)
+	for i := 0; i < 3; i++ {
+		sc.Record(obs.Event{Comp: "test", Kind: fmt.Sprintf("pre-%d", i), Group: "g"})
+	}
+	srv := newServer(t, sc, Options{PollInterval: 5 * time.Millisecond, MetricsInterval: 20 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	msgs := Subscribe(ctx, srv.URL, SubOptions{})
+
+	got := collect(t, msgs, 5*time.Second, func(ms []Msg) bool {
+		return len(seqs(ms)) >= 3
+	})
+	if got[0].Kind != KindHello || got[0].Hello.Node != "d1" {
+		t.Fatalf("first frame = %+v, want hello from d1", got[0])
+	}
+	var openingMetrics *MetricsDelta
+	for _, m := range got {
+		if m.Kind == KindMetrics {
+			openingMetrics = m.Metrics
+			break
+		}
+	}
+	if openingMetrics == nil || openingMetrics.Metrics.Counters["work_done"] != 5 {
+		t.Fatalf("opening metrics frame must carry the full snapshot, got %+v", openingMetrics)
+	}
+	if s := seqs(got); s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Fatalf("backfill seqs = %v, want [1 2 3]", s)
+	}
+
+	// Incremental: new work shows up as new trace events and a counter
+	// delta, not a re-send of history.
+	sc.Reg.Counter("work_done").Add(2)
+	sc.Record(obs.Event{Comp: "test", Kind: "live", Group: "g"})
+	got = collect(t, msgs, 5*time.Second, func(ms []Msg) bool {
+		for _, m := range ms {
+			if m.Kind == KindMetrics && m.Metrics.Metrics.Counters["work_done"] == 2 {
+				return true
+			}
+		}
+		return false
+	})
+	found := false
+	for _, m := range got {
+		for _, e := range m.Events {
+			if e.Seq != 4 || e.Kind != "live" {
+				t.Fatalf("incremental event = %+v, want only seq 4 'live'", e)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("incremental trace event never arrived: %+v", got)
+	}
+}
+
+// TestStreamReconnectResumesCursor kills the subscriber's connection and
+// checks the redial resumes from the last seen cursor without replaying
+// or skipping events.
+func TestStreamReconnectResumesCursor(t *testing.T) {
+	sc := obs.NewScope("d1", "test")
+	srv := newServer(t, sc, Options{PollInterval: 5 * time.Millisecond, MetricsInterval: time.Hour})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	msgs := Subscribe(ctx, srv.URL, SubOptions{BackoffMin: 10 * time.Millisecond})
+
+	sc.Record(obs.Event{Comp: "test", Kind: "a"})
+	sc.Record(obs.Event{Comp: "test", Kind: "b"})
+	collect(t, msgs, 5*time.Second, func(ms []Msg) bool { return len(seqs(ms)) >= 2 })
+
+	srv.CloseClientConnections()
+	sc.Record(obs.Event{Comp: "test", Kind: "c"})
+	sc.Record(obs.Event{Comp: "test", Kind: "d"})
+
+	got := collect(t, msgs, 5*time.Second, func(ms []Msg) bool { return len(seqs(ms)) >= 2 })
+	sawDisconnect := false
+	for _, m := range got {
+		if m.Kind == "disconnect" {
+			sawDisconnect = true
+		}
+	}
+	if !sawDisconnect {
+		t.Fatalf("no disconnect message after the connection was killed: %+v", got)
+	}
+	if s := seqs(got); len(s) != 2 || s[0] != 3 || s[1] != 4 {
+		t.Fatalf("post-reconnect seqs = %v, want exactly [3 4] (no replay, no gap)", s)
+	}
+}
+
+// TestStreamTruncationMarker wraps the ring past a live subscriber's
+// cursor and checks the gap arrives as an explicit truncated frame.
+func TestStreamTruncationMarker(t *testing.T) {
+	sc := obs.NewScope("d1", "test", obs.WithTraceCap(8))
+	// Pause the poller long enough for the ring to wrap mid-subscription.
+	srv := newServer(t, sc, Options{PollInterval: 200 * time.Millisecond, MetricsInterval: time.Hour})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc.Record(obs.Event{Comp: "test", Kind: "first"})
+	msgs := Subscribe(ctx, srv.URL, SubOptions{})
+	collect(t, msgs, 5*time.Second, func(ms []Msg) bool { return len(seqs(ms)) >= 1 })
+
+	// Overrun the 8-slot ring between polls: the cursor (1) is long gone
+	// by the next read.
+	for i := 0; i < 30; i++ {
+		sc.Record(obs.Event{Comp: "test", Kind: fmt.Sprintf("burst-%d", i)})
+	}
+	got := collect(t, msgs, 5*time.Second, func(ms []Msg) bool {
+		for _, m := range ms {
+			if m.Kind == KindTruncated && !m.Trunc.Initial {
+				return true
+			}
+		}
+		return false
+	})
+	var tr *Truncation
+	for _, m := range got {
+		if m.Kind == KindTruncated {
+			tr = m.Trunc
+		}
+	}
+	if tr == nil {
+		t.Fatalf("ring wrapped past the cursor but no truncated frame arrived")
+	}
+	if tr.Initial {
+		t.Fatalf("mid-stream truncation must not be marked initial: %+v", tr)
+	}
+	if tr.Since != 1 || tr.Resumed <= tr.Since+1 {
+		t.Fatalf("truncation range = (%d, %d), want a real gap from cursor 1", tr.Since, tr.Resumed)
+	}
+}
+
+// TestStreamSlowSubscriberDropsOldest is the degradation proof: a
+// subscriber that stops reading loses its own frames oldest-first (with
+// the drop counter ticking) while the node's recorder keeps recording at
+// full speed — the daemon is never blocked by a wedged consumer.
+func TestStreamSlowSubscriberDropsOldest(t *testing.T) {
+	sc := obs.NewScope("d1", "test", obs.WithTraceCap(64))
+	srv := newServer(t, sc, Options{
+		PollInterval:    time.Millisecond,
+		MetricsInterval: time.Hour,
+		QueueLimit:      4,
+	})
+
+	// A raw connection that reads the headers and then stalls: the SSE
+	// writer blocks once the kernel buffers fill, while the producer keeps
+	// polling into the 4-frame queue.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/events?since=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	dropped := sc.Reg.Counter("stream_dropped_frames")
+	deadline := time.Now().Add(10 * time.Second)
+	big := make([]byte, 2048)
+	for i := 0; dropped.Value() == 0 && time.Now().Before(deadline); i++ {
+		// Fat events fill the kernel buffers fast; one frame per poll.
+		sc.Record(obs.Event{Comp: "test", Kind: "burst", Detail: string(big)})
+		time.Sleep(time.Millisecond)
+	}
+	if dropped.Value() == 0 {
+		t.Fatalf("slow subscriber never dropped a frame; backpressure is blocking the producer")
+	}
+
+	// The recorder (the daemon side) kept going the whole time.
+	before := sc.Rec.Total()
+	for i := 0; i < 100; i++ {
+		sc.Record(obs.Event{Comp: "test", Kind: "after"})
+	}
+	if got := sc.Rec.Total(); got != before+100 {
+		t.Fatalf("recorder advanced %d, want 100 — a wedged subscriber stalled the daemon", got-before)
+	}
+	if g := sc.Reg.Gauge("stream_subscribers").Value(); g != 1 {
+		t.Fatalf("stream_subscribers = %d, want 1", g)
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	if m := parseFrame("bogus", "{}"); m.Kind != "error" || m.Err == nil {
+		t.Fatalf("unknown kind = %+v, want error msg", m)
+	}
+	if m := parseFrame(KindTrace, "not json"); m.Kind != "error" {
+		t.Fatalf("bad json = %+v, want error msg", m)
+	}
+}

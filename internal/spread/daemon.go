@@ -61,6 +61,12 @@ type Daemon struct {
 	lastNack  map[string]time.Time // per-origin retransmission request limiter
 
 	form formingState
+	// formingSince marks the start of the current forming *streak*: set
+	// when forming (re)activates, cleared only by a view install. Rounds
+	// superseding each other keep the original stamp, so a cluster that
+	// churns rounds without ever installing shows up as one long wedge in
+	// Readiness rather than a series of fresh attempts.
+	formingSince time.Time
 
 	groups     map[string]*group
 	prevGroups map[string]*group // snapshot taken at view install

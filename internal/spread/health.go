@@ -1,0 +1,57 @@
+package spread
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// PeerStatus returns the transport's per-link supervisor state, one entry
+// per outbound peer, when the transport reports it (the TCP transport
+// does; the in-memory network has no link state and yields nil). The
+// readiness probe and the flight recorder's state dump both read this.
+func (d *Daemon) PeerStatus() []transport.PeerStatus {
+	if sr, ok := d.node.(transport.StatusReporter); ok {
+		return sr.PeerStatus()
+	}
+	return nil
+}
+
+// PeersDown counts supervised links the transport currently believes
+// unreachable.
+func (d *Daemon) PeersDown() int {
+	down := 0
+	for _, ps := range d.PeerStatus() {
+		if !ps.Up {
+			down++
+		}
+	}
+	return down
+}
+
+// Readiness is the /readyz probe: nil while the daemon is serving
+// normally, an error naming the degradation otherwise. A daemon is
+// degraded when any supervised peer link is down, or when a membership
+// forming streak has run past several install timeouts without ever
+// installing a view — the cluster is partitioned or the flush protocol is
+// wedged, and new clients should be pointed elsewhere.
+func (d *Daemon) Readiness() error {
+	wedgeAfter := 3 * d.cfg.InstallTimeout
+	var formingFor time.Duration
+	if err := d.do(func() {
+		if d.form.active && !d.formingSince.IsZero() {
+			formingFor = time.Since(d.formingSince)
+		}
+	}); err != nil {
+		return fmt.Errorf("daemon stopped")
+	}
+	if formingFor > wedgeAfter {
+		return fmt.Errorf("membership forming for %v without a view install (threshold %v)",
+			formingFor.Round(time.Millisecond), wedgeAfter)
+	}
+	if down := d.PeersDown(); down > 0 {
+		return fmt.Errorf("%d supervised peer link(s) down", down)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package spread
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// statusNet wraps a Network so its nodes report a canned peer-status
+// table, standing in for the TCP transport's link supervisors.
+type statusNet struct {
+	transport.Network
+	status []transport.PeerStatus
+}
+
+type statusNode struct {
+	transport.Node
+	net *statusNet
+}
+
+func (n statusNode) PeerStatus() []transport.PeerStatus { return n.net.status }
+
+func (s *statusNet) Attach(name string, h transport.Handler) (transport.Node, error) {
+	inner, err := s.Network.Attach(name, h)
+	if err != nil {
+		return nil, err
+	}
+	return statusNode{Node: inner, net: s}, nil
+}
+
+func TestReadinessHealthySingleton(t *testing.T) {
+	c := newTestCluster(t, 1)
+	d := c.Daemons[0]
+	if ps := d.PeerStatus(); ps != nil {
+		t.Fatalf("mem transport has no link state, got %v", ps)
+	}
+	if err := d.Readiness(); err != nil {
+		t.Fatalf("healthy singleton not ready: %v", err)
+	}
+}
+
+func TestReadinessReportsDownPeers(t *testing.T) {
+	sn := &statusNet{Network: transport.NewMemNetwork()}
+	d, err := NewDaemon("d00", []string{"d00"}, sn, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	sn.status = []transport.PeerStatus{
+		{Peer: "d01", Up: true},
+		{Peer: "d02", Up: false, QueueFrames: 3, QueueBytes: 96},
+	}
+	if got := d.PeersDown(); got != 1 {
+		t.Fatalf("PeersDown = %d, want 1", got)
+	}
+	if err := d.Readiness(); err == nil || !strings.Contains(err.Error(), "link(s) down") {
+		t.Fatalf("readiness with a down link = %v, want degraded", err)
+	}
+
+	sn.status[1].Up = true
+	if err := d.Readiness(); err != nil {
+		t.Fatalf("all links up but still degraded: %v", err)
+	}
+}
+
+func TestReadinessReportsWedgedForming(t *testing.T) {
+	c := newTestCluster(t, 1)
+	d := c.Daemons[0]
+
+	// Rewind the forming streak past the wedge threshold, as if membership
+	// rounds had churned without an install since then.
+	if err := d.do(func() {
+		d.form.active = true
+		d.formingSince = time.Now().Add(-time.Hour)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Readiness(); err == nil || !strings.Contains(err.Error(), "forming") {
+		t.Fatalf("wedged forming = %v, want degraded", err)
+	}
+
+	// A view install clears the streak (the install path owns the reset;
+	// mirror it here) and readiness recovers.
+	if err := d.do(func() {
+		d.form.active = false
+		d.formingSince = time.Time{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Readiness(); err != nil {
+		t.Fatalf("recovered daemon still degraded: %v", err)
+	}
+}

@@ -70,6 +70,10 @@ func (d *Daemon) startForming() {
 		deadline:   now.Add(d.cfg.InstallTimeout),
 	}
 
+	if d.formingSince.IsZero() {
+		d.formingSince = now
+	}
+
 	reachable := []string{d.name}
 	for _, p := range d.peers {
 		if p == d.name {
@@ -240,6 +244,9 @@ func (d *Daemon) onSync(from string, s *syncMsg) {
 			proposals: map[string]bool{d.name: true},
 			acks:      map[string]*syncAckMsg{},
 		}
+		if d.formingSince.IsZero() {
+			d.formingSince = time.Now()
+		}
 	}
 	d.form.round = max(d.form.round, s.Round)
 	d.form.coord = from
@@ -400,6 +407,7 @@ func (d *Daemon) installView(inst *installMsg) {
 	d.contigLTS = make(map[string]uint64)
 	d.lastNack = make(map[string]time.Time)
 	d.form = formingState{maxRound: max(d.form.maxRound, d.form.round)}
+	d.formingSince = time.Time{} // the streak ended: a view installed
 
 	// Snapshot groups for view-event computation and begin the state
 	// exchange: every view member reports its local group memberships.

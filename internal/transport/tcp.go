@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -241,9 +242,36 @@ type tcpNode struct {
 	once     sync.Once
 }
 
-var _ Node = (*tcpNode)(nil)
+var (
+	_ Node           = (*tcpNode)(nil)
+	_ StatusReporter = (*tcpNode)(nil)
+)
 
 func (n *tcpNode) Name() string { return n.name }
+
+// PeerStatus implements StatusReporter: one entry per outbound peer this
+// node has ever sent to, sorted by name.
+func (n *tcpNode) PeerStatus() []PeerStatus {
+	n.mu.Lock()
+	peers := make([]*tcpPeer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	out := make([]PeerStatus, 0, len(peers))
+	for _, p := range peers {
+		p.mu.Lock()
+		out = append(out, PeerStatus{
+			Peer:        p.name,
+			Up:          p.up && !p.closed,
+			QueueFrames: len(p.q),
+			QueueBytes:  p.qBytes,
+		})
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
 
 // ListenAddr returns the actual listen address (resolves port 0).
 func (n *tcpNode) ListenAddr() string { return n.ln.Addr().String() }

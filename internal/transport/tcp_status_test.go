@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTCPPeerStatus drives one live and one dead link and checks the
+// StatusReporter view: the live peer is up with a drained queue, the dead
+// peer goes down with its frames still queued.
+func TestTCPPeerStatus(t *testing.T) {
+	leakCheck(t)
+	tn := NewTCPNetwork(map[string]string{
+		"a":    "127.0.0.1:0",
+		"live": "127.0.0.1:0",
+		"dead": "127.0.0.1:1", // nothing listens there: every dial fails
+	})
+	tn.SetTuning(fastTuning())
+	na, err := tn.Attach("a", &watchHandler{reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	var cl collector
+	nl, err := tn.Attach("live", &cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nl.Close()
+
+	sr, ok := na.(StatusReporter)
+	if !ok {
+		t.Fatal("tcp node does not implement StatusReporter")
+	}
+	if got := sr.PeerStatus(); len(got) != 0 {
+		t.Fatalf("fresh node reports peers: %v", got)
+	}
+
+	if err := na.Send("live", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := na.Send("dead", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	cl.waitFor(t, 1)
+
+	// The dead peer's supervisor needs DownAfter failed dials to report.
+	byPeer := func() map[string]PeerStatus {
+		m := make(map[string]PeerStatus)
+		for _, ps := range sr.PeerStatus() {
+			m[ps.Peer] = ps
+		}
+		return m
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for byPeer()["dead"].Up {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead peer never reported down: %+v", sr.PeerStatus())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	st := byPeer()
+	if len(st) != 2 {
+		t.Fatalf("status for %d peers, want 2: %v", len(st), st)
+	}
+	if !st["live"].Up {
+		t.Fatalf("live peer reported down: %+v", st["live"])
+	}
+	if st["dead"].QueueFrames < 1 || st["dead"].QueueBytes <= 0 {
+		t.Fatalf("dead peer's frame should still be queued: %+v", st["dead"])
+	}
+
+	// The live link's queue drains once delivered.
+	deadline = time.Now().Add(5 * time.Second)
+	for byPeer()["live"].QueueFrames > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live peer queue never drained: %+v", byPeer()["live"])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

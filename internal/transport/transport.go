@@ -59,6 +59,26 @@ type MetricsProvider interface {
 	ObsRegistry() *obs.Registry
 }
 
+// PeerStatus is a point-in-time view of one supervised outbound link:
+// whether the supervisor currently believes the peer reachable, and how
+// much is queued behind the link. Queue depth on an up link is transient;
+// a deep queue on a down link is frames waiting to be dropped.
+type PeerStatus struct {
+	Peer        string `json:"peer"`
+	Up          bool   `json:"up"`
+	QueueFrames int    `json:"queue_frames"`
+	QueueBytes  int    `json:"queue_bytes"`
+}
+
+// StatusReporter is an optional Node extension: transports that supervise
+// their links (the TCP transport) expose every known outbound peer's link
+// state for readiness probes and flight-recorder state dumps. Transports
+// without per-link state (the in-memory network) simply don't implement
+// it.
+type StatusReporter interface {
+	PeerStatus() []PeerStatus
+}
+
 // Node is an attached endpoint that can send to peers by name.
 type Node interface {
 	// Name returns the endpoint's name.
