@@ -5,13 +5,14 @@ SWEEP_FLAGS ?= -sizes 2..8 -batch 3
 
 .PHONY: check vet build test race chaos chaos-tcp chaos-tcp-short bench-exp \
 	bench-obs bench-rekey bench-report bench-diff bench-wire bench-wire-diff \
-	obs-smoke mon-smoke
+	obs-smoke mon-smoke crit-smoke
 
 ## check: the full local gate — vet, build, tests, the race suite on the
 ## packages with concurrency-sensitive fast paths, a short chaos schedule
-## replayed over real TCP sockets, and the regression gates against the
-## checked-in baselines (rekey latency and the data-plane wire sweep).
-check: vet build test race chaos-tcp-short bench-diff bench-wire-diff
+## replayed over real TCP sockets, the causal-order gate, and the
+## regression gates against the checked-in baselines (rekey latency and
+## the data-plane wire sweep).
+check: vet build test race chaos-tcp-short crit-smoke bench-diff bench-wire-diff
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +29,7 @@ race:
 		./internal/transport/... ./internal/obs/... ./cmd/sgcmon
 
 ## chaos: the deterministic fault-schedule matrix (8 seeds x 2 protocols,
-## 5 cluster-wide invariants) under the race detector. A failing seed
+## 6 cluster-wide invariants) under the race detector. A failing seed
 ## reproduces with: go test ./internal/chaos -run TestChaos -chaos.seed=N
 chaos:
 	$(GO) test -race -timeout 3000s ./internal/chaos
@@ -89,6 +90,15 @@ bench-wire-diff:
 	$(GO) run ./cmd/sgcbench -wire -wire-out $$tmp >/dev/null && \
 	$(GO) run ./cmd/sgctrace diff BENCH_wire.json $$tmp; \
 	st=$$?; rm -f $$tmp; exit $$st
+
+## crit-smoke: the causal-order gate — the happens-before checker's unit
+## suite plus pinned chaos schedules replayed in-memory, with host clocks
+## skewed seconds apart, and over real TCP, all of which must satisfy
+## invariant I6; the trace analyzer must also extract a fully-connected
+## rekey critical path from a live run.
+crit-smoke:
+	$(GO) test -timeout 300s -count=1 ./internal/obs/causal ./internal/chaos \
+		-run 'TestHappensBefore|TestCheck|TestCriticalPath|TestLookup|TestBuild|TestChaosCausalDifferential|TestChaosCriticalPathConnected'
 
 ## obs-smoke: boot a 3-daemon TCP cluster with -debug-addr and embedded
 ## secure clients, curl the introspection endpoints, then run the sgctrace

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/causal"
 	"repro/internal/obs/stream"
 )
 
@@ -248,6 +249,7 @@ type FleetView struct {
 	Views     map[string][]string `json:"views,omitempty"`  // daemon view -> nodes
 	Epochs    map[string][]string `json:"epochs,omitempty"` // group/epoch -> nodes
 	Anomalies []analyze.Anomaly   `json:"anomalies,omitempty"`
+	Causal    []causal.Violation  `json:"causal_violations,omitempty"`
 	Alerts    []string            `json:"alerts,omitempty"`
 }
 
@@ -388,10 +390,19 @@ func (m *monitor) view(now time.Time) *FleetView {
 
 	// The same detectors sgctrace report runs post-hoc, over the merged
 	// in-window trace.
-	v.Anomalies = analyze.DetectAnomalies(obs.Merge(traces...),
+	mergedTrace := obs.Merge(traces...)
+	v.Anomalies = analyze.DetectAnomalies(mergedTrace,
 		analyze.Options{StallThreshold: m.stall, Group: m.group})
 	for _, a := range v.Anomalies {
 		v.Alerts = append(v.Alerts, a.String())
+	}
+	// The causal-order checker runs live too: a delivery outside its
+	// view or a key installed ahead of a member's flush is an alert, not
+	// just a post-mortem finding. Window pruning evicts old events, which
+	// the checker tolerates by skipping assertions it cannot resolve.
+	v.Causal = causal.Check(mergedTrace)
+	for _, cv := range v.Causal {
+		v.Alerts = append(v.Alerts, "causal order: "+cv.String())
 	}
 	sort.Strings(v.Alerts)
 	return v

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/causal"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func main() {
 		err = cmdCollect(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "crit":
+		err = cmdCrit(os.Args[2:])
 	case "diff":
 		var regs []analyze.Regression
 		regs, err = cmdDiff(os.Args[2:], os.Stdout)
@@ -73,6 +76,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sgctrace collect -out bundle.json [-group G] name=http://addr ...
   sgctrace report [-json] [-group G] [-stall 2s] FILE|BUNDLE_DIR
+  sgctrace crit [-json] [-group G] FILE|BUNDLE_DIR
   sgctrace diff [-ratio 10] [-floor 50] [-count-tol 0] OLD.json NEW.json`)
 }
 
@@ -364,6 +368,69 @@ func diffFiles(w io.Writer, oldPath, newPath string, opt analyze.DiffOptions) ([
 	}
 	fmt.Fprintf(w, "%d regression(s) vs %s\n", len(regs), oldPath)
 	return regs, nil
+}
+
+// ---- crit ----
+
+// cmdCrit builds the happens-before graph of the trace and prints the
+// critical path of every completed rekey plus any causal-order
+// violations. It exits nonzero when a violation is found, so it doubles
+// as a CI gate.
+func cmdCrit(args []string) error {
+	fs := flag.NewFlagSet("crit", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit paths and violations as JSON")
+	group := fs.String("group", "", "restrict the analysis to one process group")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("crit: want exactly one input file")
+	}
+	in, err := loadInput(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if in.bench != nil {
+		return fmt.Errorf("crit: %s is a bench sweep, not a trace", fs.Arg(0))
+	}
+	events := in.events
+	if *group != "" {
+		kept := events[:0:0]
+		for _, e := range events {
+			if e.Group == "" || e.Group == *group {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	paths := analyze.CriticalPaths(events)
+	violations := causal.Check(events)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Paths      []*analyze.CritPath `json:"paths"`
+			Violations []causal.Violation  `json:"violations"`
+		}{paths, violations}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("== rekey critical paths (%d) ==\n", len(paths))
+		for _, p := range paths {
+			analyze.FormatCritPath(os.Stdout, p)
+		}
+		fmt.Printf("\n== causal-order violations (%d) ==\n", len(violations))
+		for _, v := range violations {
+			fmt.Println(v.String())
+		}
+		if len(violations) == 0 {
+			fmt.Println("none")
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("crit: %d causal-order violation(s)", len(violations))
+	}
+	return nil
 }
 
 // benchFile is either sweep schema the diff gate accepts: the rekey

@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// skewByName derives a deterministic per-node host-clock skew in
+// [-2s, +2s] — big enough that wall-clock ordering across nodes is
+// garbage, so only the HLC stamps can explain a passing causal check.
+func skewByName(node string) time.Duration {
+	h := fnv.New32a()
+	h.Write([]byte(node))
+	return time.Duration(int64(h.Sum32()%4001)-2000) * time.Millisecond
+}
+
+// TestChaosCausalDifferential replays one pinned schedule three ways —
+// in-memory, in-memory with per-node host clocks skewed seconds apart,
+// and over real TCP sockets — and requires the causal-order invariant
+// (I6) to hold in all three. The skewed replay is the differential: if
+// the causal layer ordered events by host clocks rather than by the HLC
+// stamps carried on the wire, the skew would manufacture receives that
+// "precede" their sends and I6 would fire.
+func TestChaosCausalDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential chaos is not a -short test")
+	}
+	const seed, events = 11, 12
+	w := Weights{Reset: 12, Send: 30}
+	sched := Generate(seed, 3, events, 6, w)
+
+	run := func(t *testing.T, cfg Config) *Result {
+		t.Helper()
+		res, err := Replay(cfg, sched)
+		if err != nil {
+			t.Fatalf("chaos replay: %v\nschedule:\n%s", err, sched)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("invariant violated: %s", v)
+		}
+		assertCausallyRich(t, res.Events)
+		return res
+	}
+
+	t.Run("mem", func(t *testing.T) {
+		run(t, Config{Seed: seed, Events: events, Weights: w})
+	})
+	t.Run("mem-skewed", func(t *testing.T) {
+		res := run(t, Config{Seed: seed, Events: events, Weights: w, clockSkew: skewByName})
+		// Prove the skew was actually applied: the HLC reads skewed
+		// physical time while T reads the true host clock, so on a
+		// skewed node the two must visibly disagree.
+		maxGap := time.Duration(0)
+		for _, e := range res.Events {
+			if e.HLC.IsZero() {
+				continue
+			}
+			gap := time.Duration(e.HLC.Wall-e.T.UnixMicro()) * time.Microsecond
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > maxGap {
+				maxGap = gap
+			}
+		}
+		if maxGap < 500*time.Millisecond {
+			t.Errorf("skew hook had no visible effect: max |HLC wall - T| gap %v", maxGap)
+		}
+	})
+	t.Run("tcp", func(t *testing.T) {
+		run(t, Config{Seed: seed, Events: events, Weights: w, Transport: "tcp"})
+	})
+}
+
+// assertCausallyRich guards against a vacuously green causal check: the
+// trace must actually carry HLC stamps, cross-node parent edges, and at
+// least one key-install whose member list the checker can resolve.
+func assertCausallyRich(t *testing.T, events []obs.Event) {
+	t.Helper()
+	stamped, parents, resolvable := 0, 0, 0
+	installs := map[string]bool{}
+	for _, e := range events {
+		if !e.HLC.IsZero() {
+			stamped++
+		}
+		if e.Parent != nil {
+			parents++
+		}
+		if e.Comp == "flush" && e.Kind == "vs-view-install" && e.View != "" {
+			installs[e.Node+"/"+e.Group+"/"+e.View] = true
+		}
+	}
+	for _, e := range events {
+		if e.Comp != "core" || e.Kind != "key-install" || e.View == "" {
+			continue
+		}
+		for _, m := range causalTestMembers(e.Detail) {
+			if installs[m+"/"+e.Group+"/"+e.View] {
+				resolvable++
+			}
+		}
+	}
+	if stamped == 0 || parents == 0 {
+		t.Fatalf("trace is causally empty: %d stamped, %d parent edges over %d events",
+			stamped, parents, len(events))
+	}
+	if resolvable == 0 {
+		t.Fatalf("no key-install resolved any member view install: the I6 key-install check never ran")
+	}
+}
+
+// causalTestMembers mirrors the checker's documented detail format
+// ("members=[a b c]", see internal/core) so this test fails loudly if
+// the key-install detail drifts away from what internal/obs/causal parses.
+func causalTestMembers(detail string) []string {
+	const key = " members=["
+	i := strings.Index(detail, key)
+	if i < 0 {
+		return nil
+	}
+	rest := detail[i+len(key):]
+	j := strings.IndexByte(rest, ']')
+	if j < 0 {
+		return nil
+	}
+	return strings.Fields(rest[:j])
+}
+
+// TestChaosCriticalPathConnected is the acceptance check for the crit
+// analyzer: a real chaos run must yield at least one rekey critical path
+// whose consecutive steps are all happens-before connected (the property
+// `sgctrace crit` prints as connected=true), with sane phase accounting.
+func TestChaosCriticalPathConnected(t *testing.T) {
+	res, err := Run(Config{Seed: 3, Events: 12, Weights: Weights{Send: 30}})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	paths := analyze.CriticalPaths(res.Events)
+	if len(paths) == 0 {
+		t.Fatalf("no critical paths extracted from %d events", len(res.Events))
+	}
+	connected := 0
+	for _, p := range paths {
+		if len(p.Steps) == 0 {
+			t.Errorf("empty critical path for group=%s view=%s", p.Group, p.View)
+			continue
+		}
+		if p.Connected {
+			connected++
+		}
+		var phaseSum, nodeSum float64
+		for _, ms := range p.PhaseMs {
+			phaseSum += ms
+		}
+		for _, ms := range p.NodeMs {
+			nodeSum += ms
+		}
+		if p.TotalMs < 0 || phaseSum < 0 || nodeSum < 0 {
+			t.Errorf("negative latency accounting: total=%v phases=%v nodes=%v",
+				p.TotalMs, p.PhaseMs, p.NodeMs)
+		}
+	}
+	if connected == 0 {
+		var ends []string
+		for _, p := range paths {
+			ends = append(ends, fmt.Sprintf("%s/%s end=%s steps=%d", p.Group, p.View, p.End, len(p.Steps)))
+		}
+		t.Fatalf("no critical path is happens-before connected: %v", ends)
+	}
+}

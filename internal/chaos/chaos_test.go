@@ -40,7 +40,7 @@ func protos() []string {
 
 // TestChaosMatrix replays every seed's schedule under both key agreement
 // modules — the differential check: the identical fault sequence must leave
-// either protocol with all five invariants intact.
+// either protocol with all six invariants intact.
 func TestChaosMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos matrix is not a -short test")
@@ -213,8 +213,8 @@ func TestChaosCausalTraceOnViolation(t *testing.T) {
 	if res.Passed() {
 		t.Fatal("synthetic invariant did not register as a violation")
 	}
-	if got := res.TraceString(); !strings.Contains(got, "I6 synthetic") {
-		t.Errorf("invariant trace missing the I6 line:\n%s", got)
+	if got := res.TraceString(); !strings.Contains(got, "I7 synthetic") {
+		t.Errorf("invariant trace missing the I7 line:\n%s", got)
 	}
 
 	if len(res.Metrics.Histograms) == 0 {

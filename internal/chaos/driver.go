@@ -69,6 +69,11 @@ type Config struct {
 	// are recorded as violations. It exists to exercise the causal-trace
 	// dump path without waiting for a real invariant to fail.
 	extraInvariant func(*driver) []string
+
+	// clockSkew, when set (tests only), skews each named node's hybrid
+	// logical clock view of physical time — the differential harness for
+	// proving the causal order survives host clock disagreement.
+	clockSkew func(node string) time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -500,6 +505,11 @@ func (d *driver) startDaemon(name string) error {
 	if err != nil {
 		return fmt.Errorf("chaos: start daemon %s: %w", name, err)
 	}
+	if d.cfg.clockSkew != nil {
+		if sc := dm.Obs(); sc != nil && sc.Rec != nil {
+			sc.Rec.Clock().SetOffset(d.cfg.clockSkew(name))
+		}
+	}
 	d.daemons[name] = dm
 	return nil
 }
@@ -559,6 +569,9 @@ func (d *driver) apply(ev Event) {
 		// cluster-wide) but keep private trace rings for the dump.
 		member := ev.Client + "#" + ev.Daemon
 		c.obs = &obs.Scope{Node: member, Rec: obs.NewRecorder(member, 0), Reg: d.reg, Log: obs.L("core")}
+		if d.cfg.clockSkew != nil {
+			c.obs.Rec.Clock().SetOffset(d.cfg.clockSkew(member))
+		}
 		c.conn = core.New(ep, core.WithCounter(c.counter), core.WithObs(c.obs))
 		c.member = c.conn.Name()
 		d.clients[ev.Client] = c

@@ -6,9 +6,10 @@ import (
 	"strings"
 
 	"repro/internal/dh"
+	"repro/internal/obs/causal"
 )
 
-// The five global invariants every chaos run must satisfy once the cluster
+// The six global invariants every chaos run must satisfy once the cluster
 // quiesces (DESIGN.md Section 8):
 //
 //	I1 view agreement    — all surviving clients install the same final view,
@@ -22,6 +23,11 @@ import (
 //	I5 exp accounting    — exponentiation counters stay consistent: only the
 //	                       Table 2-4 labels, totals equal to the label sums,
 //	                       and at least one exponentiation per secured view.
+//	I6 causal order      — the merged trace's happens-before graph holds the
+//	                       paper's ordering laws: receive HLCs exceed send
+//	                       HLCs, keys install only after every member's view
+//	                       install is in their causal past, and VS messages
+//	                       are delivered in the view they were sent in.
 //
 // Trace lines carry only schedule-derived data and verdicts, so the same
 // seed yields a byte-identical trace whether the run passes or fails;
@@ -39,7 +45,7 @@ var knownOps = map[string]bool{
 	dh.OpShareRemove:    true,
 }
 
-// checkInvariants runs all five checks and appends one trace line per
+// checkInvariants runs all six checks and appends one trace line per
 // invariant plus detailed violations to res.
 func checkInvariants(d *driver, res *Result, converged bool) {
 	alive := d.aliveSorted()
@@ -62,9 +68,22 @@ func checkInvariants(d *driver, res *Result, converged bool) {
 	record("I3", "key-freshness", checkKeyFreshness(d))
 	record("I4", "vs-safety", checkVSSafety(d))
 	record("I5", "exp-accounting", checkExpAccounting(d))
+	record("I6", "causal-order", checkCausalOrder(d))
 	if d.cfg.extraInvariant != nil {
-		record("I6", "synthetic", d.cfg.extraInvariant(d))
+		record("I7", "synthetic", d.cfg.extraInvariant(d))
 	}
+}
+
+// checkCausalOrder (I6): the happens-before checker over the merged
+// trace of every node, live and dead. Evidence (node names, clock
+// stamps) is run-dependent and goes to Violations only; the trace line
+// stays schedule-deterministic.
+func checkCausalOrder(d *driver) []string {
+	var v []string
+	for _, cv := range causal.Check(d.mergedEvents()) {
+		v = append(v, "I6: "+cv.String())
+	}
+	return v
 }
 
 // checkViewAgreement (I1): the surviving clients' secured membership is

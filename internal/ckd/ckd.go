@@ -107,6 +107,9 @@ type Member struct {
 	// trace, when set (kga.TraceSetter), receives state-machine
 	// transitions for the observability layer.
 	trace func(kind, detail string)
+	// causal, when set (kga.CausalSetter), stamps encoded bodies with
+	// HLCs and records happens-before edges for received ones.
+	causal kga.Causal
 }
 
 type pending struct {
@@ -322,7 +325,7 @@ func (m *Member) makeHello(to string, gr1 *big.Int, epoch uint64, members []stri
 		TargetEpoch: epoch,
 	}
 	body.MAC = auth.MACTag(ltMACKey(lt), helloCanon(m.name, to, &body))
-	enc, err := encodeBody(&body)
+	enc, err := m.encBody(MsgCtrlHello, &body)
 	if err != nil {
 		return kga.Message{}, err
 	}
@@ -461,7 +464,7 @@ func (m *Member) distribute() (kga.Result, error) {
 		SenderPub:   m.pub,
 		TargetEpoch: m.pend.targetEpoch,
 	}
-	enc, err := encodeBody(&body)
+	enc, err := m.encBody(MsgKeyDist, &body)
 	if err != nil {
 		return kga.Result{}, err
 	}

@@ -51,7 +51,7 @@ func (m *Member) onCtrlHello(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected controller hello", ErrBadState)
 	}
 	var body helloBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	controller := m.pend.members[0]
@@ -102,7 +102,7 @@ func (m *Member) onCtrlHello(msg kga.Message) (kga.Result, error) {
 		TargetEpoch: body.TargetEpoch,
 	}
 	resp.MAC = auth.MACTag(ltMACKey(lt), respCanon(m.name, &resp))
-	enc, err := encodeBody(&resp)
+	enc, err := m.encBody(MsgMemberResp, &resp)
 	if err != nil {
 		return kga.Result{}, err
 	}
@@ -121,7 +121,7 @@ func (m *Member) onMemberResp(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unsolicited response from %s", ErrBadState, msg.From)
 	}
 	var body respBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if body.TargetEpoch != m.pend.targetEpoch {
@@ -170,7 +170,7 @@ func (m *Member) onKeyDist(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected key distribution", ErrBadState)
 	}
 	var body keyDistBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	controller := m.pend.members[0]

@@ -59,7 +59,13 @@ func eMACKey(e *big.Int) []byte {
 // implied by kga.Message.Type; MACs are computed over auth.Canon forms,
 // never over encodings.
 func encodeBody(v any) ([]byte, error) {
-	b := wirecodec.AppendPreamble(nil)
+	return encodeBodyExt(v, nil)
+}
+
+// encodeBodyExt is encodeBody with a causal-tracing extension in the
+// versioned preamble (nil ext yields a byte-identical V1 frame).
+func encodeBodyExt(v any, ext *wirecodec.Ext) ([]byte, error) {
+	b := wirecodec.AppendPreambleExt(nil, ext)
 	switch body := v.(type) {
 	case *helloBody:
 		b = wirecodec.AppendStrings(b, body.Members)
@@ -86,8 +92,15 @@ func encodeBody(v any) ([]byte, error) {
 }
 
 func decodeBody(data []byte, v any) error {
+	_, err := decodeBodyExt(data, v)
+	return err
+}
+
+// decodeBodyExt is decodeBody plus the frame's causal-tracing extension
+// (nil on V1 and gob frames).
+func decodeBodyExt(data []byte, v any) (*wirecodec.Ext, error) {
 	if !wirecodec.IsCodec(data) {
-		return decodeBodyGob(data, v)
+		return nil, decodeBodyGob(data, v)
 	}
 	d := wirecodec.NewDec(data)
 	switch body := v.(type) {
@@ -110,12 +123,12 @@ func decodeBody(data []byte, v any) error {
 		body.SenderPub = d.BigInt()
 		body.TargetEpoch = d.Uvarint()
 	default:
-		return fmt.Errorf("decode ckd body: unsupported type %T", v)
+		return nil, fmt.Errorf("decode ckd body: unsupported type %T", v)
 	}
 	if err := d.Close(); err != nil {
-		return fmt.Errorf("decode ckd body: %w", err)
+		return nil, fmt.Errorf("decode ckd body: %w", err)
 	}
-	return nil
+	return d.Ext(), nil
 }
 
 func encodeBodyGob(v any) ([]byte, error) {

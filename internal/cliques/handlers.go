@@ -44,7 +44,7 @@ func (m *Member) onJoinSeed(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected join seed", ErrBadState)
 	}
 	var body joinSeedBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if body.Joiner != m.name {
@@ -121,7 +121,7 @@ func (m *Member) onJoinSeed(msg kga.Message) (kga.Result, error) {
 		SenderPub:   m.pub,
 		TargetEpoch: body.TargetEpoch,
 	}
-	enc, err := encodeBody(&bcast)
+	enc, err := m.encBody(MsgJoinBcast, &bcast)
 	if err != nil {
 		return kga.Result{}, err
 	}
@@ -143,7 +143,7 @@ func (m *Member) onJoinBcast(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected join broadcast", ErrBadState)
 	}
 	var body joinBcastBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if body.TargetEpoch != m.pend.targetEpoch {
@@ -200,7 +200,7 @@ func (m *Member) onLeaveBcast(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected leave broadcast", ErrBadState)
 	}
 	var body leaveBcastBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if body.TargetEpoch != m.pend.targetEpoch {
@@ -238,7 +238,7 @@ func (m *Member) onMergeChain(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected merge chain message", ErrBadState)
 	}
 	var body mergeChainBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if !slices.Equal(body.Members, m.pend.members) || !slices.Equal(body.Merged, m.pend.merged) {
@@ -295,7 +295,7 @@ func (m *Member) onMergeChain(msg kga.Message) (kga.Result, error) {
 			TargetEpoch: body.TargetEpoch,
 		}
 		fwd.MAC = macTag(kn, mergeChainCanon(&fwd))
-		enc, err := encodeBody(&fwd)
+		enc, err := m.encBody(MsgMergeChain, &fwd)
 		if err != nil {
 			return kga.Result{}, err
 		}
@@ -330,7 +330,7 @@ func (m *Member) onMergeChain(msg kga.Message) (kga.Result, error) {
 		}
 		req.MACs[name] = macTag(k, canon(name), base)
 	}
-	enc, err := encodeBody(&req)
+	enc, err := m.encBody(MsgMergeFactorReq, &req)
 	if err != nil {
 		return kga.Result{}, err
 	}
@@ -351,7 +351,7 @@ func (m *Member) onMergeFactorReq(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected factor request", ErrBadState)
 	}
 	var body mergeFactorReqBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if !slices.Equal(body.Members, m.pend.members) || !slices.Equal(body.Merged, m.pend.merged) {
@@ -397,7 +397,7 @@ func (m *Member) onMergeFactorReq(msg kga.Message) (kga.Result, error) {
 		TargetEpoch: body.TargetEpoch,
 	}
 	resp.MAC = macTag(kl, mergeFactorRespCanon(m.name, &resp))
-	enc, err := encodeBody(&resp)
+	enc, err := m.encBody(MsgMergeFactorResp, &resp)
 	if err != nil {
 		return kga.Result{}, err
 	}
@@ -418,7 +418,7 @@ func (m *Member) onMergeFactorResp(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected factor response", ErrBadState)
 	}
 	var body mergeFactorRespBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if body.TargetEpoch != m.pend.targetEpoch {
@@ -468,7 +468,7 @@ func (m *Member) onMergeFactorResp(msg kga.Message) (kga.Result, error) {
 		macs[name] = macTag(k, entryCanon(m.name, name, entries[name], m.pend.targetEpoch))
 	}
 	bcast.EntryMACs = macs
-	enc, err := encodeBody(&bcast)
+	enc, err := m.encBody(MsgMergeBcast, &bcast)
 	if err != nil {
 		return kga.Result{}, err
 	}
@@ -490,7 +490,7 @@ func (m *Member) onMergeBcast(msg kga.Message) (kga.Result, error) {
 		return kga.Result{}, fmt.Errorf("%w: unexpected merge broadcast", ErrBadState)
 	}
 	var body mergeBcastBody
-	if err := decodeBody(msg.Body, &body); err != nil {
+	if err := m.decBody(msg, &body); err != nil {
 		return kga.Result{}, err
 	}
 	if body.TargetEpoch != m.pend.targetEpoch {

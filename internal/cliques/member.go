@@ -66,6 +66,9 @@ type Member struct {
 	// trace, when set (kga.TraceSetter), receives state-machine
 	// transitions for the observability layer.
 	trace func(kind, detail string)
+	// causal, when set (kga.CausalSetter), stamps encoded bodies with
+	// HLCs and records happens-before edges for received ones.
+	causal kga.Causal
 }
 
 type pending struct {
@@ -324,7 +327,7 @@ func (m *Member) evJoin(ev kga.Event) (kga.Result, error) {
 		TargetEpoch: m.pend.targetEpoch,
 	}
 	body.MAC = macTag(kc, joinSeedCanon(&body))
-	enc, err := encodeBody(&body)
+	enc, err := m.encBody(MsgJoinSeed, &body)
 	if err != nil {
 		return kga.Result{}, err
 	}
@@ -420,7 +423,7 @@ func (m *Member) startRekey(survivors, left []string, refresh bool) (kga.Result,
 		TargetEpoch: m.pend.targetEpoch,
 	}
 	body.MAC = macTag(groupMACKey(m.key.Secret), leaveCanon(&body))
-	enc, err := encodeBody(&body)
+	enc, err := m.encBody(MsgLeaveBcast, &body)
 	if err != nil {
 		return kga.Result{}, err
 	}
@@ -504,7 +507,7 @@ func (m *Member) evMerge(ev kga.Event) (kga.Result, error) {
 		TargetEpoch: m.pend.targetEpoch,
 	}
 	body.MAC = macTag(kc, mergeChainCanon(&body))
-	enc, err := encodeBody(&body)
+	enc, err := m.encBody(MsgMergeChain, &body)
 	if err != nil {
 		return kga.Result{}, err
 	}

@@ -107,7 +107,13 @@ type mergeBcastBody struct {
 // canon(), never over encodings, so the codec swap cannot break
 // authentication.
 func encodeBody(v any) ([]byte, error) {
-	b := wirecodec.AppendPreamble(nil)
+	return encodeBodyExt(v, nil)
+}
+
+// encodeBodyExt is encodeBody with a causal-tracing extension in the
+// versioned preamble (nil ext yields a byte-identical V1 frame).
+func encodeBodyExt(v any, ext *wirecodec.Ext) ([]byte, error) {
+	b := wirecodec.AppendPreambleExt(nil, ext)
 	switch body := v.(type) {
 	case *joinSeedBody:
 		b = wirecodec.AppendStrings(b, body.OldMembers)
@@ -164,8 +170,15 @@ func encodeBody(v any) ([]byte, error) {
 }
 
 func decodeBody(data []byte, v any) error {
+	_, err := decodeBodyExt(data, v)
+	return err
+}
+
+// decodeBodyExt is decodeBody plus the frame's causal-tracing extension
+// (nil on V1 and gob frames).
+func decodeBodyExt(data []byte, v any) (*wirecodec.Ext, error) {
 	if !wirecodec.IsCodec(data) {
-		return decodeBodyGob(data, v)
+		return nil, decodeBodyGob(data, v)
 	}
 	d := wirecodec.NewDec(data)
 	switch body := v.(type) {
@@ -218,12 +231,12 @@ func decodeBody(data []byte, v any) error {
 		body.SenderPub = d.BigInt()
 		body.TargetEpoch = d.Uvarint()
 	default:
-		return fmt.Errorf("decode cliques body: unsupported type %T", v)
+		return nil, fmt.Errorf("decode cliques body: unsupported type %T", v)
 	}
 	if err := d.Close(); err != nil {
-		return fmt.Errorf("decode cliques body: %w", err)
+		return nil, fmt.Errorf("decode cliques body: %w", err)
 	}
-	return nil
+	return d.Ext(), nil
 }
 
 func encodeBodyGob(v any) ([]byte, error) {

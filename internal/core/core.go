@@ -178,6 +178,11 @@ func (c *Conn) Join(group, protoName, suiteName string) error {
 					Detail: fmt.Sprintf("round=%d %s", g.kgaSeq, detail)})
 			})
 		}
+		// Engines whose wire bodies carry HLC extensions get a causal
+		// hook under the protocol's component name.
+		if cs, ok := proto.(kga.CausalSetter); ok && c.obs != nil && c.obs.Rec != nil {
+			cs.SetCausal(&obsCausal{sc: c.obs, comp: protoName, group: group})
+		}
 		g.proto = proto
 		c.groups[group] = g
 	})
@@ -213,7 +218,8 @@ func (c *Conn) Multicast(group string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	enc, err := encodeEnvelope(&envelope{Kind: envData, Epoch: epoch, Frame: frame})
+	enc, err := encodeEnvelopeExt(&envelope{Kind: envData, Epoch: epoch, Frame: frame},
+		c.envSendExt(group, envData))
 	if err != nil {
 		return err
 	}
@@ -278,7 +284,8 @@ func (c *Conn) KeyRefresh(group string) error {
 	if !fwd {
 		return nil
 	}
-	enc, err := encodeEnvelope(&envelope{Kind: envRefreshRequest})
+	enc, err := encodeEnvelopeExt(&envelope{Kind: envRefreshRequest},
+		c.envSendExt(group, envRefreshRequest))
 	if err != nil {
 		return err
 	}
@@ -399,11 +406,12 @@ func (c *Conn) dispatch(ev flush.Event) {
 			c.emit(SelfLeave{Group: e.Group})
 		}
 	case flush.Data:
-		env, err := decodeEnvelope(e.Data)
+		env, ext, err := decodeEnvelopeExt(e.Data)
 		if err != nil {
 			c.warn(e.Group, err)
 			return
 		}
+		c.observeEnvExt(e.Sender, e.Group, env.Kind, ext)
 		if g, ok := c.groups[e.Group]; ok {
 			g.onEnvelope(e.Sender, env)
 		}

@@ -52,11 +52,35 @@ type announceBody struct {
 	Proto string
 }
 
+// envKindName labels an envelope kind for traces.
+func envKindName(k int) string {
+	switch k {
+	case envAnnounce:
+		return "announce"
+	case envKGA:
+		return "kga"
+	case envData:
+		return "data"
+	case envRefreshStart:
+		return "refresh-start"
+	case envRefreshRequest:
+		return "refresh-req"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
 // encodeEnvelope uses the binary wire codec; decodeEnvelope falls back to
 // gob for frames produced by older builds (version dispatch on the first
 // byte, see internal/wirecodec).
 func encodeEnvelope(e *envelope) ([]byte, error) {
-	b := wirecodec.AppendPreamble(nil)
+	return encodeEnvelopeExt(e, nil)
+}
+
+// encodeEnvelopeExt is encodeEnvelope with a causal-tracing extension in
+// the versioned preamble; the body is byte-identical to a V1 frame.
+func encodeEnvelopeExt(e *envelope, ext *wirecodec.Ext) ([]byte, error) {
+	b := wirecodec.AppendPreambleExt(nil, ext)
 	b = wirecodec.AppendInt(b, int64(e.Kind))
 	if e.Ann == nil {
 		b = append(b, 0)
@@ -76,8 +100,16 @@ func encodeEnvelope(e *envelope) ([]byte, error) {
 }
 
 func decodeEnvelope(data []byte) (*envelope, error) {
+	e, _, err := decodeEnvelopeExt(data)
+	return e, err
+}
+
+// decodeEnvelopeExt is decodeEnvelope plus the frame's causal-tracing
+// extension (nil on V1 and gob frames).
+func decodeEnvelopeExt(data []byte) (*envelope, *wirecodec.Ext, error) {
 	if !wirecodec.IsCodec(data) {
-		return decodeEnvelopeGob(data)
+		e, err := decodeEnvelopeGob(data)
+		return e, nil, err
 	}
 	d := wirecodec.NewDec(data)
 	e := &envelope{Kind: int(d.Int())}
@@ -95,9 +127,9 @@ func decodeEnvelope(data []byte) (*envelope, error) {
 	e.Epoch = d.Uvarint()
 	e.Frame = d.Bytes()
 	if err := d.Close(); err != nil {
-		return nil, fmt.Errorf("decode secure envelope: %w", err)
+		return nil, nil, fmt.Errorf("decode secure envelope: %w", err)
 	}
-	return e, nil
+	return e, d.Ext(), nil
 }
 
 func decodeEnvelopeGob(data []byte) (*envelope, error) {

@@ -65,6 +65,11 @@ type Data struct {
 	Sender  string
 	Service spread.Service
 	Data    []byte
+
+	// parent is the sender's wire-send trace reference, carried through
+	// buffering so the deliver trace event records the causal edge at
+	// the point the message is actually handed to the application.
+	parent *obs.EventRef
 }
 
 func (Data) isFlushEvent() {}
@@ -92,7 +97,14 @@ type flushMsg struct {
 // encodeMsg uses the binary wire codec; decodeMsg keeps a gob fallback for
 // frames from older builds (dispatch on the first byte).
 func encodeMsg(m *flushMsg) ([]byte, error) {
-	b := wirecodec.AppendPreamble(nil)
+	return encodeMsgExt(m, nil)
+}
+
+// encodeMsgExt is encodeMsg with a causal-tracing wire extension: the
+// sender's HLC stamp and send-event reference travel in the versioned
+// preamble, so the body stays byte-identical to a V1 frame.
+func encodeMsgExt(m *flushMsg, ext *wirecodec.Ext) ([]byte, error) {
+	b := wirecodec.AppendPreambleExt(nil, ext)
 	b = wirecodec.AppendInt(b, int64(m.Kind))
 	b = wirecodec.AppendUvarint(b, m.View.DaemonView.Epoch)
 	b = wirecodec.AppendString(b, m.View.DaemonView.Coord)
@@ -103,8 +115,16 @@ func encodeMsg(m *flushMsg) ([]byte, error) {
 }
 
 func decodeMsg(data []byte) (*flushMsg, error) {
+	m, _, err := decodeMsgExt(data)
+	return m, err
+}
+
+// decodeMsgExt is decodeMsg plus the frame's causal-tracing extension
+// (nil on V1 and gob frames).
+func decodeMsgExt(data []byte) (*flushMsg, *wirecodec.Ext, error) {
 	if !wirecodec.IsCodec(data) {
-		return decodeMsgGob(data)
+		m, err := decodeMsgGob(data)
+		return m, nil, err
 	}
 	d := wirecodec.NewDec(data)
 	m := &flushMsg{}
@@ -115,9 +135,9 @@ func decodeMsg(data []byte) (*flushMsg, error) {
 	m.Service = spread.Service(d.Int())
 	m.Data = d.Bytes()
 	if err := d.Close(); err != nil {
-		return nil, fmt.Errorf("decode flush message: %w", err)
+		return nil, nil, fmt.Errorf("decode flush message: %w", err)
 	}
-	return m, nil
+	return m, d.Ext(), nil
 }
 
 // encodeMsgGob is kept for the differential round-trip test.
@@ -223,7 +243,8 @@ func (f *Conn) FlushOK(group string) error {
 	id := g.pending.ID
 	f.mu.Unlock()
 
-	enc, err := encodeMsg(&flushMsg{Kind: wireFlushOK, View: id})
+	enc, err := encodeMsgExt(&flushMsg{Kind: wireFlushOK, View: id},
+		f.wireSendExt("flush-ok", group, fmt.Sprintf("%v", id)))
 	if err != nil {
 		return err
 	}
@@ -265,7 +286,20 @@ func (f *Conn) sealSend(group string, svc spread.Service, data []byte) ([]byte, 
 	}
 	id := g.current.ID
 	f.mu.Unlock()
-	return encodeMsg(&flushMsg{Kind: wireData, View: id, Service: svc, Data: data})
+	return encodeMsgExt(&flushMsg{Kind: wireData, View: id, Service: svc, Data: data},
+		f.wireSendExt("data", group, fmt.Sprintf("%v", id)))
+}
+
+// wireSendExt records a flush-layer wire-send trace event and returns
+// the causal extension to stamp the outgoing frame with. Nil when the
+// connection has no observability scope.
+func (f *Conn) wireSendExt(kind, group, view string) *wirecodec.Ext {
+	if f.obs == nil || f.obs.Rec == nil {
+		return nil
+	}
+	ev := f.obs.Record(obs.Event{Comp: "flush", Kind: "wire-send",
+		Group: group, View: view, Detail: "kind=" + kind})
+	return &wirecodec.Ext{From: ev.Ref(), HLC: ev.HLC}
 }
 
 // CurrentView returns the installed VS view for the group, or false.
@@ -339,15 +373,28 @@ func (f *Conn) onView(v spread.ViewEvent) {
 }
 
 func (f *Conn) onData(e spread.DataEvent) {
-	m, err := decodeMsg(e.Data)
+	m, ext, err := decodeMsgExt(e.Data)
 	if err != nil {
 		return // not a flush-layer frame: drop
 	}
+	var parent *obs.EventRef
+	if ext != nil {
+		f.obs.Observe(ext.HLC)
+		if ext.From.Seq != 0 {
+			ref := ext.From
+			parent = &ref
+		}
+	}
 	switch m.Kind {
 	case wireFlushOK:
+		if parent != nil {
+			f.obs.Record(obs.Event{Comp: "flush", Kind: "wire-recv", Parent: parent,
+				Group: e.Group, View: fmt.Sprintf("%v", m.View),
+				Detail: "kind=flush-ok from=" + e.Sender})
+		}
 		f.onFlushOK(e, m)
 	case wireData:
-		f.onAppData(e, m)
+		f.onAppData(e, m, parent)
 	}
 }
 
@@ -389,6 +436,7 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 		Detail: fmt.Sprintf("reason=%v members=%v round=%v", installed.Reason, installed.MemberNames(), round)})
 	f.deliver(View{Info: installed})
 	for _, d := range buffered {
+		f.recordDeliver(d, fmt.Sprintf("%v", installed.ID))
 		f.deliver(d)
 	}
 }
@@ -402,8 +450,8 @@ func (f *Conn) flushCompleteLocked(g *groupState) bool {
 	return true
 }
 
-func (f *Conn) onAppData(e spread.DataEvent, m *flushMsg) {
-	d := Data{Group: e.Group, Sender: e.Sender, Service: m.Service, Data: m.Data}
+func (f *Conn) onAppData(e spread.DataEvent, m *flushMsg, parent *obs.EventRef) {
+	d := Data{Group: e.Group, Sender: e.Sender, Service: m.Service, Data: m.Data, parent: parent}
 	f.mu.Lock()
 	g := f.groups[e.Group]
 	if g == nil {
@@ -413,6 +461,7 @@ func (f *Conn) onAppData(e spread.DataEvent, m *flushMsg) {
 	switch {
 	case g.current != nil && g.current.ID == m.View:
 		f.mu.Unlock()
+		f.recordDeliver(d, fmt.Sprintf("%v", m.View))
 		f.deliver(d)
 	case g.pending != nil && g.pending.ID == m.View:
 		// Sent by a member that installed the pending view before us;
@@ -424,4 +473,16 @@ func (f *Conn) onAppData(e spread.DataEvent, m *flushMsg) {
 		// delivering it here.
 		f.mu.Unlock()
 	}
+}
+
+// recordDeliver traces the actual hand-off of a VS message to the
+// application, with the sender's wire-send as causal parent — the edge
+// the causal-order checker uses to assert messages are delivered in the
+// view they were sent in.
+func (f *Conn) recordDeliver(d Data, view string) {
+	if f.obs == nil || f.obs.Rec == nil {
+		return
+	}
+	f.obs.Record(obs.Event{Comp: "flush", Kind: "deliver", Parent: d.parent,
+		Group: d.Group, View: view, Detail: "from=" + d.Sender})
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/dh"
+	"repro/internal/obs"
 )
 
 // ErrRetry marks protocol errors that mean "the engine is not ready for
@@ -177,6 +178,27 @@ type Protocol interface {
 // detail. Engines must tolerate a nil callback.
 type TraceSetter interface {
 	SetTrace(func(kind, detail string))
+}
+
+// Causal is the hook protocol engines use to stamp their wire bodies with
+// hybrid logical clocks and to record happens-before edges for received
+// bodies. StampSend records a "wire-send" trace event and returns its
+// reference plus the sender's HLC at that instant — both travel in the
+// frame's versioned extension. ObserveRecv merges the sender's clock and
+// records a "wire-recv" event whose causal parent is the send event.
+// Implementations must be safe against zero-value arguments (a frame from
+// an older build carries no extension).
+type Causal interface {
+	StampSend(detail string) (obs.EventRef, obs.HLC)
+	ObserveRecv(from obs.EventRef, h obs.HLC, detail string)
+}
+
+// CausalSetter is optionally implemented by protocol engines whose wire
+// bodies carry causal-tracing extensions. The secure layer attaches the
+// hook after construction, like TraceSetter. Engines must tolerate a nil
+// hook.
+type CausalSetter interface {
+	SetCausal(Causal)
 }
 
 // Factory builds a Protocol instance for a member. Counter may be nil.

@@ -108,7 +108,7 @@ type Rekey struct {
 	GroupTotalMs float64 `json:"group_total_ms"`
 	// Phases holds the per-phase maximum across nodes (the critical
 	// path contribution of each phase).
-	Phases Phases      `json:"phases"`
+	Phases Phases       `json:"phases"`
 	Nodes  []*NodeRekey `json:"nodes"`
 
 	startT time.Time // for ordering

@@ -37,9 +37,9 @@ func (b *tb) at(msOff int, node, comp, kind string, mut ...func(*obs.Event)) {
 	b.evs = append(b.evs, e)
 }
 
-func view(v string) func(*obs.Event)      { return func(e *obs.Event) { e.View = v } }
-func epoch(k uint64) func(*obs.Event)     { return func(e *obs.Event) { e.KeyEpoch = k } }
-func detail(d string) func(*obs.Event)    { return func(e *obs.Event) { e.Detail = d } }
+func view(v string) func(*obs.Event)   { return func(e *obs.Event) { e.View = v } }
+func epoch(k uint64) func(*obs.Event)  { return func(e *obs.Event) { e.KeyEpoch = k } }
+func detail(d string) func(*obs.Event) { return func(e *obs.Event) { e.Detail = d } }
 
 // joinRekey appends one complete join rekey for node at view v installing
 // epoch ep, with the canonical phase offsets (all in ms from base):

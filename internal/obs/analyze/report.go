@@ -6,24 +6,29 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/obs"
+	"repro/internal/obs/causal"
 )
 
 // Report is the full analysis of one causal trace: correlated per-rekey
-// records, per-class/per-size summaries, and detected anomalies.
+// records, per-class/per-size summaries, detected anomalies, and any
+// causal-order violations found in the happens-before graph.
 type Report struct {
-	Rekeys    []*Rekey       `json:"rekeys"`
-	Summary   []ClassSummary `json:"summary"`
-	Anomalies []Anomaly      `json:"anomalies"`
+	Rekeys    []*Rekey           `json:"rekeys"`
+	Summary   []ClassSummary     `json:"summary"`
+	Anomalies []Anomaly          `json:"anomalies"`
+	Causal    []causal.Violation `json:"causal_violations,omitempty"`
 }
 
 // Analyze correlates, summarizes, and anomaly-checks a causal trace in one
-// pass.
+// pass, and runs the happens-before checker over it.
 func Analyze(events []obs.Event, opt Options) *Report {
-	c := correlate(filterGroup(events, opt.Group))
+	filtered := filterGroup(events, opt.Group)
+	c := correlate(filtered)
 	return &Report{
 		Rekeys:    c.rekeys,
 		Summary:   Summarize(c.rekeys),
 		Anomalies: detectAnomalies(c, opt),
+		Causal:    causal.Check(filtered),
 	}
 }
 
@@ -93,6 +98,14 @@ func (r *Report) WriteText(w io.Writer) {
 	if len(r.Anomalies) == 0 {
 		fmt.Fprintln(w, "none")
 	}
+
+	fmt.Fprintf(w, "\n== causal-order violations (%d) ==\n", len(r.Causal))
+	for _, v := range r.Causal {
+		fmt.Fprintln(w, v.String())
+	}
+	if len(r.Causal) == 0 {
+		fmt.Fprintln(w, "none")
+	}
 }
 
 // AnomalyLines renders the anomaly list as strings (for embedding in the
@@ -101,6 +114,16 @@ func (r *Report) AnomalyLines() []string {
 	out := make([]string, 0, len(r.Anomalies))
 	for _, a := range r.Anomalies {
 		out = append(out, a.String())
+	}
+	return out
+}
+
+// CausalLines renders the causal-order violations as strings (for sgcmon
+// alerts and the chaos harness).
+func (r *Report) CausalLines() []string {
+	out := make([]string, 0, len(r.Causal))
+	for _, v := range r.Causal {
+		out = append(out, v.String())
 	}
 	return out
 }

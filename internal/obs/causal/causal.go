@@ -1,0 +1,176 @@
+// Package causal builds happens-before graphs from merged causal traces.
+//
+// Every trace event carries a hybrid logical clock stamp and, for events
+// that record the receipt of a wire message, a causal parent reference to
+// the sender's wire-send event (see internal/obs). Two edge families
+// follow:
+//
+//   - node order: consecutive events of one node (by sequence number)
+//   - message order: parent -> child across nodes
+//
+// Their transitive closure is Lamport's happens-before relation. The
+// graph answers reachability queries via per-event vector clocks, checks
+// the paper's causal-order invariants from the trace alone (Check), and
+// extracts the latency-bounding chain of a distributed operation
+// (CriticalPath).
+package causal
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Graph is a happens-before DAG over a merged trace. Build it once; all
+// queries are read-only and cheap.
+type Graph struct {
+	events []obs.Event
+	index  map[obs.EventRef]int
+	prev   []int // same-node predecessor position, -1 at a node's first event
+	parent []int // causal parent position, -1 when absent or evicted
+	vc     []map[string]uint64
+}
+
+// Build merges events (obs.Merge) and constructs the happens-before
+// graph. Parent references whose events fell out of the trace ring are
+// tolerated: the edge is simply absent.
+func Build(events []obs.Event) *Graph {
+	merged := obs.Merge(events)
+	g := &Graph{
+		events: merged,
+		index:  make(map[obs.EventRef]int, len(merged)),
+		prev:   make([]int, len(merged)),
+		parent: make([]int, len(merged)),
+		vc:     make([]map[string]uint64, len(merged)),
+	}
+	byNode := make(map[string][]int)
+	for i, e := range merged {
+		ref := e.Ref()
+		if _, dup := g.index[ref]; !dup {
+			g.index[ref] = i
+		}
+		byNode[e.Node] = append(byNode[e.Node], i)
+	}
+	// Node order follows sequence numbers, not merge position: merge
+	// order is already seq-consistent per node for events a live recorder
+	// stamped, but traces can mix old (clockless) events whose wall
+	// timestamps regressed.
+	for i := range g.prev {
+		g.prev[i] = -1
+	}
+	for _, idxs := range byNode {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return g.events[idxs[a]].Seq < g.events[idxs[b]].Seq
+		})
+		for j := 1; j < len(idxs); j++ {
+			g.prev[idxs[j]] = idxs[j-1]
+		}
+	}
+	for i, e := range merged {
+		g.parent[i] = -1
+		if e.Parent != nil {
+			if p, ok := g.index[*e.Parent]; ok {
+				g.parent[i] = p
+			}
+		}
+	}
+	// Vector clocks, processed in merge order. Edges from a position not
+	// yet processed would mean the clock law is broken (Check reports
+	// those); they are skipped here so the computation stays acyclic.
+	for i, e := range merged {
+		vc := make(map[string]uint64)
+		if p := g.prev[i]; p >= 0 && p < i {
+			for n, s := range g.vc[p] {
+				vc[n] = s
+			}
+		}
+		if p := g.parent[i]; p >= 0 && p < i {
+			for n, s := range g.vc[p] {
+				if s > vc[n] {
+					vc[n] = s
+				}
+			}
+		}
+		if e.Seq > vc[e.Node] {
+			vc[e.Node] = e.Seq
+		}
+		g.vc[i] = vc
+	}
+	return g
+}
+
+// Events returns the merged trace the graph was built over.
+func (g *Graph) Events() []obs.Event { return g.events }
+
+// Lookup resolves an event reference.
+func (g *Graph) Lookup(ref obs.EventRef) (obs.Event, bool) {
+	i, ok := g.index[ref]
+	if !ok {
+		return obs.Event{}, false
+	}
+	return g.events[i], true
+}
+
+// HappensBefore reports whether event a is in event b's causal past
+// (strictly: a != b and a is reachable from b through the edge closure).
+// Unknown references are never ordered.
+func (g *Graph) HappensBefore(a, b obs.EventRef) bool {
+	if a == b {
+		return false
+	}
+	ia, ok := g.index[a]
+	ib, ok2 := g.index[b]
+	if !ok || !ok2 {
+		return false
+	}
+	return g.vc[ib][g.events[ia].Node] >= g.events[ia].Seq
+}
+
+// CriticalPath walks backward from end, at each event following the
+// latest of its two predecessors — the same-node previous event or the
+// causal parent — which is the dependency that bound the event's time.
+// The walk stops after appending an event for which stop returns true,
+// or at a root. The path is returned in forward (causal) order; nil if
+// end is unknown.
+func (g *Graph) CriticalPath(end obs.EventRef, stop func(obs.Event) bool) []obs.Event {
+	i, ok := g.index[end]
+	if !ok {
+		return nil
+	}
+	var rev []obs.Event
+	for i >= 0 {
+		e := g.events[i]
+		rev = append(rev, e)
+		if stop != nil && stop(e) {
+			break
+		}
+		// Only edges to earlier merge positions are followed, so the
+		// walk terminates even on traces that break the clock law.
+		p, q := g.prev[i], g.parent[i]
+		if p >= i {
+			p = -1
+		}
+		if q >= i {
+			q = -1
+		}
+		next := p
+		if q >= 0 && (p < 0 || laterEvent(g.events[q], g.events[p])) {
+			next = q
+		}
+		i = next
+	}
+	path := make([]obs.Event, len(rev))
+	for j, e := range rev {
+		path[len(rev)-1-j] = e
+	}
+	return path
+}
+
+// laterEvent reports whether a happened later than b, by HLC when both
+// carry stamps, else by wall timestamp.
+func laterEvent(a, b obs.Event) bool {
+	if !a.HLC.IsZero() && !b.HLC.IsZero() {
+		return a.HLC.Compare(b.HLC) > 0
+	}
+	return a.T.After(b.T)
+}

@@ -1,0 +1,241 @@
+package causal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// twoNodeTrace hand-builds a clean two-node exchange:
+//
+//	a1 (send) -> b2 (recv), with a2 after a1 and b1 before b2,
+//
+// so a1 happens-before {a2, b2, b3} but is concurrent with b1.
+func twoNodeTrace() []obs.Event {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	h := func(w int64, l uint64) obs.HLC { return obs.HLC{Wall: base.UnixMicro() + w, Logical: l} }
+	ref := func(n string, s uint64) *obs.EventRef { return &obs.EventRef{Node: n, Seq: s} }
+	return []obs.Event{
+		{Seq: 1, Node: "b", Comp: "t", Kind: "local", T: at(0), HLC: h(0, 0)},
+		{Seq: 1, Node: "a", Comp: "t", Kind: "wire-send", T: at(5), HLC: h(5, 0)},
+		{Seq: 2, Node: "a", Comp: "t", Kind: "local", T: at(8), HLC: h(8, 0)},
+		{Seq: 2, Node: "b", Comp: "t", Kind: "wire-recv", T: at(9), HLC: h(9, 0), Parent: ref("a", 1)},
+		{Seq: 3, Node: "b", Comp: "t", Kind: "local", T: at(12), HLC: h(12, 0)},
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	g := Build(twoNodeTrace())
+	r := func(n string, s uint64) obs.EventRef { return obs.EventRef{Node: n, Seq: s} }
+
+	// Same-node order.
+	if !g.HappensBefore(r("a", 1), r("a", 2)) {
+		t.Errorf("a1 should precede a2")
+	}
+	// Cross-node via the message edge, and transitively.
+	if !g.HappensBefore(r("a", 1), r("b", 2)) {
+		t.Errorf("send a1 should precede recv b2")
+	}
+	if !g.HappensBefore(r("a", 1), r("b", 3)) {
+		t.Errorf("a1 should transitively precede b3")
+	}
+	if !g.HappensBefore(r("b", 1), r("b", 3)) {
+		t.Errorf("b1 should precede b3")
+	}
+	// Concurrency: a1 and b1 are unordered, both ways.
+	if g.HappensBefore(r("a", 1), r("b", 1)) || g.HappensBefore(r("b", 1), r("a", 1)) {
+		t.Errorf("a1 and b1 are concurrent")
+	}
+	// a2 did not flow to b; the only a-event in b's past is a1.
+	if g.HappensBefore(r("a", 2), r("b", 3)) {
+		t.Errorf("a2 never reached b")
+	}
+	// Irreflexive; unknown refs are never ordered.
+	if g.HappensBefore(r("a", 1), r("a", 1)) {
+		t.Errorf("happens-before must be irreflexive")
+	}
+	if g.HappensBefore(r("ghost", 1), r("b", 3)) || g.HappensBefore(r("a", 1), r("ghost", 1)) {
+		t.Errorf("unknown events must be unordered")
+	}
+}
+
+func TestLookupAndEvicted(t *testing.T) {
+	tr := twoNodeTrace()
+	// Point b2's parent at an event the ring evicted: Build must tolerate
+	// it (edge absent), and the checker must not fire on it.
+	tr[3].Parent = &obs.EventRef{Node: "a", Seq: 99}
+	g := Build(tr)
+	if _, ok := g.Lookup(obs.EventRef{Node: "a", Seq: 99}); ok {
+		t.Fatalf("lookup resolved an evicted event")
+	}
+	if g.HappensBefore(obs.EventRef{Node: "a", Seq: 1}, obs.EventRef{Node: "b", Seq: 2}) {
+		t.Errorf("no surviving edge should order a1 before b2")
+	}
+	if vs := g.Check(); len(vs) != 0 {
+		t.Errorf("evicted parent must not violate: %v", vs)
+	}
+}
+
+func TestCheckCleanTraceIsSilent(t *testing.T) {
+	if vs := Check(twoNodeTrace()); len(vs) != 0 {
+		t.Fatalf("clean trace produced violations: %v", vs)
+	}
+}
+
+func TestCheckHLCOrderViolation(t *testing.T) {
+	tr := twoNodeTrace()
+	// Corrupt the receive stamp to precede its parent's.
+	tr[3].HLC = obs.HLC{Wall: tr[1].HLC.Wall - 1}
+	vs := Check(tr)
+	if len(vs) != 1 || vs[0].Check != "hlc-order" {
+		t.Fatalf("want one hlc-order violation, got %v", vs)
+	}
+	if vs[0].Node != "b" || vs[0].Event != (obs.EventRef{Node: "b", Seq: 2}) {
+		t.Fatalf("violation attributed wrongly: %+v", vs[0])
+	}
+}
+
+// rekeyTrace builds a minimal three-node rekey: every node installs view
+// v2, the installs flow to the controller "a" via wire edges, then "a"
+// installs the key listing all three members.
+func rekeyTrace(breakEdge bool) []obs.Event {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	h := func(w int64, l uint64) obs.HLC { return obs.HLC{Wall: base.UnixMicro() + w, Logical: l} }
+	ref := func(n string, s uint64) *obs.EventRef { return &obs.EventRef{Node: n, Seq: s} }
+	tr := []obs.Event{
+		{Seq: 1, Node: "a", Comp: "flush", Kind: "vs-view-install", Group: "g", View: "v2", T: at(0), HLC: h(0, 0)},
+		{Seq: 1, Node: "b", Comp: "flush", Kind: "vs-view-install", Group: "g", View: "v2", T: at(1), HLC: h(1, 0)},
+		{Seq: 1, Node: "c", Comp: "flush", Kind: "vs-view-install", Group: "g", View: "v2", T: at(2), HLC: h(2, 0)},
+		// b and c send their KGA responses to a; a records the receives.
+		// c is the straggler: its send at t=6 postdates a's receive of b's
+		// message at t=5, so c's chain bounds the rekey's latency.
+		{Seq: 2, Node: "b", Comp: "cliques", Kind: "wire-send", Group: "g", T: at(3), HLC: h(3, 0)},
+		{Seq: 2, Node: "a", Comp: "cliques", Kind: "wire-recv", Group: "g", T: at(5), HLC: h(5, 0), Parent: ref("b", 2)},
+		{Seq: 2, Node: "c", Comp: "cliques", Kind: "wire-send", Group: "g", T: at(6), HLC: h(6, 0)},
+		{Seq: 3, Node: "a", Comp: "cliques", Kind: "wire-recv", Group: "g", T: at(7), HLC: h(7, 0), Parent: ref("c", 2)},
+		{Seq: 4, Node: "a", Comp: "core", Kind: "key-install", Group: "g", View: "v2", KeyEpoch: 2, T: at(8), HLC: h(8, 0),
+			Detail: "class=join members=[a b c] controller=a fullRekey=false"},
+	}
+	if breakEdge {
+		// Sever c's contribution: a installed the key without c's view
+		// install in its causal past.
+		tr[6].Parent = nil
+	}
+	return tr
+}
+
+func TestCheckKeyInstallOrder(t *testing.T) {
+	if vs := Check(rekeyTrace(false)); len(vs) != 0 {
+		t.Fatalf("connected rekey produced violations: %v", vs)
+	}
+	vs := Check(rekeyTrace(true))
+	if len(vs) != 1 || vs[0].Check != "key-install-order" {
+		t.Fatalf("want one key-install-order violation, got %v", vs)
+	}
+}
+
+func TestCheckViewDelivery(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	h := func(w int64) obs.HLC { return obs.HLC{Wall: base.UnixMicro() + w} }
+	ref := func(n string, s uint64) *obs.EventRef { return &obs.EventRef{Node: n, Seq: s} }
+
+	// Delivery before the local view install (by sequence).
+	early := []obs.Event{
+		{Seq: 1, Node: "b", Comp: "flush", Kind: "deliver", Group: "g", View: "v2", T: at(0), HLC: h(0)},
+		{Seq: 2, Node: "b", Comp: "flush", Kind: "vs-view-install", Group: "g", View: "v2", T: at(1), HLC: h(1)},
+	}
+	vs := Check(early)
+	if len(vs) != 1 || vs[0].Check != "view-delivery" {
+		t.Fatalf("early delivery: want one view-delivery violation, got %v", vs)
+	}
+
+	// Cross-view delivery: sent in v1, delivered in v2.
+	crossed := []obs.Event{
+		{Seq: 1, Node: "a", Comp: "flush", Kind: "wire-send", Group: "g", View: "v1", T: at(0), HLC: h(0)},
+		{Seq: 1, Node: "b", Comp: "flush", Kind: "vs-view-install", Group: "g", View: "v2", T: at(1), HLC: h(1)},
+		{Seq: 2, Node: "b", Comp: "flush", Kind: "deliver", Group: "g", View: "v2", T: at(2), HLC: h(2), Parent: ref("a", 1)},
+	}
+	vs = Check(crossed)
+	if len(vs) != 1 || vs[0].Check != "view-delivery" {
+		t.Fatalf("crossed delivery: want one view-delivery violation, got %v", vs)
+	}
+
+	// Clean case: install, then matching-view delivery.
+	clean := []obs.Event{
+		{Seq: 1, Node: "a", Comp: "flush", Kind: "wire-send", Group: "g", View: "v2", T: at(0), HLC: h(0)},
+		{Seq: 1, Node: "b", Comp: "flush", Kind: "vs-view-install", Group: "g", View: "v2", T: at(1), HLC: h(1)},
+		{Seq: 2, Node: "b", Comp: "flush", Kind: "deliver", Group: "g", View: "v2", T: at(2), HLC: h(2), Parent: ref("a", 1)},
+	}
+	if vs := Check(clean); len(vs) != 0 {
+		t.Fatalf("clean delivery produced violations: %v", vs)
+	}
+}
+
+func TestCriticalPathFollowsLatestPredecessor(t *testing.T) {
+	g := Build(rekeyTrace(false))
+	end := obs.EventRef{Node: "a", Seq: 4}
+	path := g.CriticalPath(end, nil)
+	if len(path) == 0 {
+		t.Fatal("no path")
+	}
+	// Forward order, ending at the key install.
+	last := path[len(path)-1]
+	if last.Ref() != end {
+		t.Fatalf("path does not end at %v: %v", end, last.Ref())
+	}
+	// Every consecutive pair must be happens-before connected — the
+	// property `sgctrace crit` reports as connected=true.
+	for i := 1; i < len(path); i++ {
+		if !g.HappensBefore(path[i-1].Ref(), path[i].Ref()) {
+			t.Fatalf("path step %d: %v does not happen before %v", i, path[i-1].Ref(), path[i].Ref())
+		}
+	}
+	// The latest dependency of a's key install is the receive of c's
+	// contribution, whose parent chain leads through c — so c's send must
+	// be on the path, and b's earlier send must not bound it.
+	seen := map[string]bool{}
+	for _, e := range path {
+		seen[e.Node+e.Kind] = true
+	}
+	if !seen["cwire-send"] {
+		t.Errorf("critical path skipped the latest contributor c: %v", path)
+	}
+	if seen["bwire-send"] {
+		t.Errorf("critical path took a non-binding branch through b: %v", path)
+	}
+}
+
+func TestCriticalPathStopAndUnknown(t *testing.T) {
+	g := Build(rekeyTrace(false))
+	stopAt := func(e obs.Event) bool { return e.Kind == "wire-send" }
+	path := g.CriticalPath(obs.EventRef{Node: "a", Seq: 4}, stopAt)
+	if len(path) == 0 || path[0].Kind != "wire-send" {
+		t.Fatalf("stop predicate not honoured: %v", path)
+	}
+	if p := g.CriticalPath(obs.EventRef{Node: "zz", Seq: 1}, nil); p != nil {
+		t.Fatalf("unknown end should yield nil, got %v", p)
+	}
+}
+
+// TestBuildTerminatesOnCorruptTrace: a trace whose parent edges point
+// forward (clock law broken) must not hang or panic Build, Check, or
+// CriticalPath.
+func TestBuildTerminatesOnCorruptTrace(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	// Two events that are each other's parents, with inverted stamps.
+	tr := []obs.Event{
+		{Seq: 1, Node: "a", Comp: "t", Kind: "wire-recv", T: base, HLC: obs.HLC{Wall: base.UnixMicro() + 5},
+			Parent: &obs.EventRef{Node: "b", Seq: 1}},
+		{Seq: 1, Node: "b", Comp: "t", Kind: "wire-recv", T: base.Add(time.Microsecond), HLC: obs.HLC{Wall: base.UnixMicro()},
+			Parent: &obs.EventRef{Node: "a", Seq: 1}},
+	}
+	g := Build(tr)
+	g.Check() // must terminate; violations are acceptable
+	for _, e := range tr {
+		g.CriticalPath(e.Ref(), nil) // must terminate
+	}
+}

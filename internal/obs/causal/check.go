@@ -1,0 +1,144 @@
+package causal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// A Violation is one failed causal-order assertion. Checks are named:
+//
+//	hlc-order          a receive's HLC does not exceed its send's
+//	key-install-order  a key was installed without every member's
+//	                   view install in its causal past
+//	view-delivery      a VS message was delivered outside the view it
+//	                   was sent in, or before the view was installed
+type Violation struct {
+	Check  string       `json:"check"`
+	Node   string       `json:"node"`
+	Event  obs.EventRef `json:"event"`
+	Detail string       `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s (event %s/%d)", v.Check, v.Node, v.Detail, v.Event.Node, v.Event.Seq)
+}
+
+// Check builds the happens-before graph and asserts the paper's
+// causal-order invariants from the trace alone. It is deliberately
+// tolerant of incomplete traces — the ring evicts old events, so a
+// missing endpoint skips an assertion rather than failing it — and
+// returns nil when every checkable assertion holds.
+func Check(events []obs.Event) []Violation {
+	return Build(events).Check()
+}
+
+// Check runs the invariant checks over the built graph. See the
+// package-level Check.
+func (g *Graph) Check() []Violation {
+	var out []Violation
+
+	// 1. Clock law: a child's HLC strictly exceeds its parent's. This is
+	// the local property the two global checks below rest on.
+	for i, e := range g.events {
+		p := g.parent[i]
+		if p < 0 || e.HLC.IsZero() || g.events[p].HLC.IsZero() {
+			continue
+		}
+		if g.events[p].HLC.Compare(e.HLC) >= 0 {
+			out = append(out, Violation{
+				Check: "hlc-order", Node: e.Node, Event: e.Ref(),
+				Detail: fmt.Sprintf("parent %s/%d stamped %v, child %v",
+					g.events[p].Node, g.events[p].Seq, g.events[p].HLC, e.HLC),
+			})
+		}
+	}
+
+	// Index each node's view installs: (group, view) -> node -> event.
+	type gv struct{ group, view string }
+	installs := make(map[gv]map[string]obs.EventRef)
+	for _, e := range g.events {
+		if e.Comp != "flush" || e.Kind != "vs-view-install" || e.View == "" {
+			continue
+		}
+		k := gv{e.Group, e.View}
+		if installs[k] == nil {
+			installs[k] = make(map[string]obs.EventRef)
+		}
+		if _, dup := installs[k][e.Node]; !dup {
+			installs[k][e.Node] = e.Ref()
+		}
+	}
+
+	// 2. Key-install order: a node installs the group key only after
+	// every member's flush completed — each member's view install must
+	// be in the key-install's causal past (Section 5.3: state alignment
+	// runs on the agreed membership). Members whose install the ring
+	// evicted, and members whose trace is absent entirely, are skipped.
+	for _, e := range g.events {
+		if e.Comp != "core" || e.Kind != "key-install" || e.View == "" {
+			continue
+		}
+		members := detailMembers(e.Detail)
+		byNode := installs[gv{e.Group, e.View}]
+		for _, m := range members {
+			ref, ok := byNode[m]
+			if !ok {
+				continue
+			}
+			if ref == e.Ref() {
+				continue
+			}
+			if !g.HappensBefore(ref, e.Ref()) {
+				out = append(out, Violation{
+					Check: "key-install-order", Node: e.Node, Event: e.Ref(),
+					Detail: fmt.Sprintf("key epoch %d installed without member %s's install of view %s in its causal past",
+						e.KeyEpoch, m, e.View),
+				})
+			}
+		}
+	}
+
+	// 3. View delivery: VS delivers a message only in the view it was
+	// sent in, and only after the receiver installed that view.
+	for i, e := range g.events {
+		if e.Comp != "flush" || e.Kind != "deliver" || e.View == "" {
+			continue
+		}
+		if ref, ok := installs[gv{e.Group, e.View}][e.Node]; ok {
+			if le, found := g.Lookup(ref); found && le.Seq > e.Seq {
+				out = append(out, Violation{
+					Check: "view-delivery", Node: e.Node, Event: e.Ref(),
+					Detail: fmt.Sprintf("message delivered before view %s was installed locally", e.View),
+				})
+			}
+		}
+		if p := g.parent[i]; p >= 0 {
+			send := g.events[p]
+			if send.View != "" && send.View != e.View {
+				out = append(out, Violation{
+					Check: "view-delivery", Node: e.Node, Event: e.Ref(),
+					Detail: fmt.Sprintf("message sent in view %s delivered in view %s", send.View, e.View),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// detailMembers parses "members=[a b c]" from an event detail string
+// (the key-install format, see internal/core).
+func detailMembers(detail string) []string {
+	const key = "members=["
+	i := strings.Index(detail, key)
+	if i < 0 || (i > 0 && detail[i-1] != ' ') {
+		return nil
+	}
+	v := detail[i+len(key):]
+	end := strings.IndexByte(v, ']')
+	if end < 0 {
+		return nil
+	}
+	return strings.Fields(v[:end])
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// HLC is a hybrid logical clock stamp: physical microseconds plus a
+// logical counter that ticks when physical time alone cannot order two
+// events (same microsecond, or a remote stamp from a node whose clock
+// runs ahead). Comparing two stamps respects happens-before: if event a
+// causally precedes event b — same node, or a message carried a's stamp
+// to b's node — then a's stamp is strictly smaller, regardless of how
+// far the two hosts' wall clocks disagree.
+type HLC struct {
+	// Wall is the physical component, microseconds since the Unix epoch.
+	// It is the maximum physical time the clock has observed, so it can
+	// run ahead of the local host clock after merging a stamp from a
+	// fast remote.
+	Wall int64 `json:"w"`
+	// Logical breaks ties within one Wall microsecond.
+	Logical uint64 `json:"l,omitempty"`
+}
+
+// IsZero reports an unset stamp (events recorded before the causal
+// layer existed, or constructed without a recorder).
+func (h HLC) IsZero() bool { return h.Wall == 0 && h.Logical == 0 }
+
+// Compare orders two stamps: -1, 0, +1 as h is before, equal to, or
+// after o.
+func (h HLC) Compare(o HLC) int {
+	switch {
+	case h.Wall < o.Wall:
+		return -1
+	case h.Wall > o.Wall:
+		return 1
+	case h.Logical < o.Logical:
+		return -1
+	case h.Logical > o.Logical:
+		return 1
+	}
+	return 0
+}
+
+// Before reports h < o.
+func (h HLC) Before(o HLC) bool { return h.Compare(o) < 0 }
+
+// String renders "wall.logical" with the wall part as RFC3339-like
+// micros, for trace dumps.
+func (h HLC) String() string {
+	return fmt.Sprintf("%d.%d", h.Wall, h.Logical)
+}
+
+// EventRef names one event of one node's trace — the (node, seq) pair
+// that identifies it in a merged fleet trace. A zero Seq means "no
+// event": stamps can ride the wire for clock propagation alone (e.g.
+// heartbeats) without a recorded send event behind them.
+type EventRef struct {
+	Node string `json:"node"`
+	Seq  uint64 `json:"seq"`
+}
+
+// IsZero reports an unset reference.
+func (r EventRef) IsZero() bool { return r.Node == "" && r.Seq == 0 }
+
+// Clock is a thread-safe hybrid logical clock. Tick stamps a local
+// event (including sends); Observe merges a stamp received from a
+// remote node so that every later local stamp orders after it.
+type Clock struct {
+	mu     sync.Mutex
+	last   HLC
+	offset time.Duration // test hook: simulated host clock skew
+	now    func() int64  // physical micros; nil means time.Now
+}
+
+// NewClock builds a clock reading physical time from the host.
+func NewClock() *Clock { return &Clock{} }
+
+// SetOffset skews the clock's view of physical time by d — a test hook
+// for exercising merge behaviour under host clock disagreement. It does
+// not rewind stamps already issued; monotonicity holds regardless.
+func (c *Clock) SetOffset(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.offset = d
+	c.mu.Unlock()
+}
+
+func (c *Clock) phys() int64 {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now().Add(c.offset).UnixMicro()
+}
+
+// Tick issues the stamp for a local event. The wall component never
+// regresses — if the host clock steps backwards, the logical counter
+// carries the ordering.
+func (c *Clock) Tick() HLC {
+	if c == nil {
+		return HLC{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pt := c.phys()
+	if pt > c.last.Wall {
+		c.last = HLC{Wall: pt}
+	} else {
+		c.last.Logical++
+	}
+	return c.last
+}
+
+// Observe merges a remote stamp and issues the stamp for the receive
+// event: strictly after both the remote stamp and every stamp this
+// clock issued before. A zero remote stamp degenerates to Tick.
+func (c *Clock) Observe(remote HLC) HLC {
+	if c == nil {
+		return HLC{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pt := c.phys()
+	switch {
+	case pt > c.last.Wall && pt > remote.Wall:
+		c.last = HLC{Wall: pt}
+	case c.last.Wall > remote.Wall:
+		c.last.Logical++
+	case remote.Wall > c.last.Wall:
+		c.last = HLC{Wall: remote.Wall, Logical: remote.Logical + 1}
+	default: // c.last.Wall == remote.Wall >= pt
+		c.last = HLC{Wall: c.last.Wall, Logical: max(c.last.Logical, remote.Logical) + 1}
+	}
+	return c.last
+}
+
+// Now reads the current stamp without advancing it (diagnostics only).
+func (c *Clock) Now() HLC {
+	if c == nil {
+		return HLC{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}

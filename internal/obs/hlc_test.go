@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHLCTickMonotonic: Tick never issues a stamp <= the previous one,
+// even when the host clock steps backwards mid-sequence.
+func TestHLCTickMonotonic(t *testing.T) {
+	// A physical clock that runs 5 µs forward, steps back 1000 µs, then
+	// freezes — the pathologies Tick must absorb with the logical counter.
+	times := []int64{100, 101, 102, 103, 104, 105}
+	for i := int64(0); i < 20; i++ {
+		times = append(times, 105-1000) // stepped back, frozen
+	}
+	i := 0
+	c := NewClock()
+	c.now = func() int64 {
+		v := times[i]
+		if i < len(times)-1 {
+			i++
+		}
+		return v
+	}
+	prev := c.Tick()
+	for n := 0; n < len(times)-1; n++ {
+		cur := c.Tick()
+		if cur.Compare(prev) <= 0 {
+			t.Fatalf("tick %d: stamp %v not after previous %v", n, cur, prev)
+		}
+		prev = cur
+	}
+	if prev.Logical == 0 {
+		t.Fatalf("expected logical ticks after the clock step, got %v", prev)
+	}
+}
+
+// TestHLCObserveMergeLaw: Observe lands strictly after both the remote
+// stamp and every prior local stamp, in all four wall-time cases.
+func TestHLCObserveMergeLaw(t *testing.T) {
+	cases := []struct {
+		name   string
+		local  HLC   // clock state before Observe
+		remote HLC   // incoming stamp
+		phys   int64 // host physical micros at Observe time
+	}{
+		{"phys ahead of both", HLC{Wall: 100, Logical: 3}, HLC{Wall: 150, Logical: 9}, 200},
+		{"local ahead", HLC{Wall: 300, Logical: 2}, HLC{Wall: 150, Logical: 9}, 100},
+		{"remote ahead", HLC{Wall: 100, Logical: 3}, HLC{Wall: 400, Logical: 7}, 100},
+		{"walls tied", HLC{Wall: 500, Logical: 3}, HLC{Wall: 500, Logical: 11}, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewClock()
+			c.now = func() int64 { return tc.phys }
+			c.last = tc.local
+			got := c.Observe(tc.remote)
+			if got.Compare(tc.local) <= 0 {
+				t.Errorf("observe stamp %v not after prior local %v", got, tc.local)
+			}
+			if got.Compare(tc.remote) <= 0 {
+				t.Errorf("observe stamp %v not after remote %v", got, tc.remote)
+			}
+			if next := c.Tick(); next.Compare(got) <= 0 {
+				t.Errorf("tick after observe %v not after %v", next, got)
+			}
+		})
+	}
+}
+
+// TestHLCObserveZeroDegeneratesToTick: heartbeat frames carry no stamp;
+// observing the zero HLC must still advance the clock like a Tick.
+func TestHLCObserveZero(t *testing.T) {
+	c := NewClock()
+	c.now = func() int64 { return 100 }
+	a := c.Observe(HLC{})
+	b := c.Observe(HLC{})
+	if a.IsZero() || b.Compare(a) <= 0 {
+		t.Fatalf("zero-stamp observes must still advance: %v then %v", a, b)
+	}
+}
+
+// TestHLCSkewedClocksStillOrder: two clocks skewed by seconds of host
+// time still order a send/receive pair correctly once the receiver
+// observes the sender's stamp — the property the wire extension exists
+// to provide.
+func TestHLCSkewedClocksStillOrder(t *testing.T) {
+	base := time.Now()
+	mk := func(skew time.Duration) *Clock {
+		c := NewClock()
+		c.now = func() int64 { return base.Add(skew).UnixMicro() }
+		return c
+	}
+	fast := mk(5 * time.Second) // sender's host runs 5s ahead
+	slow := mk(-5 * time.Second)
+
+	send := fast.Tick()
+	recv := slow.Observe(send)
+	if !send.Before(recv) {
+		t.Fatalf("receive stamp %v not after send %v despite 10s skew", recv, send)
+	}
+	// And everything the slow node stamps afterwards stays after the send.
+	if later := slow.Tick(); !send.Before(later) {
+		t.Fatalf("post-receive local stamp %v regressed before send %v", later, send)
+	}
+}
+
+// TestHLCSetOffsetSkew: SetOffset shifts the physical component read
+// from the host clock, and never rewinds issued stamps.
+func TestHLCSetOffsetSkew(t *testing.T) {
+	c := NewClock()
+	ahead := c.Tick()
+	c.SetOffset(2 * time.Hour)
+	far := c.Tick()
+	if far.Wall-ahead.Wall < time.Hour.Microseconds() {
+		t.Fatalf("offset not applied: %v then %v", ahead, far)
+	}
+	c.SetOffset(-2 * time.Hour)
+	back := c.Tick()
+	if back.Compare(far) <= 0 {
+		t.Fatalf("stamp regressed after negative offset: %v then %v", far, back)
+	}
+}
+
+// TestHLCNilSafety: nil clocks and recorders are inert, not panics —
+// callers without observability wired up must not care.
+func TestHLCNilSafety(t *testing.T) {
+	var c *Clock
+	c.SetOffset(time.Second)
+	if got := c.Tick(); !got.IsZero() {
+		t.Errorf("nil Tick = %v", got)
+	}
+	if got := c.Observe(HLC{Wall: 5}); !got.IsZero() {
+		t.Errorf("nil Observe = %v", got)
+	}
+	if got := c.Now(); !got.IsZero() {
+		t.Errorf("nil Now = %v", got)
+	}
+	var r *Recorder
+	r.Observe(HLC{Wall: 5})
+	if r.Clock() != nil {
+		t.Errorf("nil recorder Clock() != nil")
+	}
+}
+
+// TestHLCCompare exercises the total order used by Merge.
+func TestHLCCompare(t *testing.T) {
+	a := HLC{Wall: 10, Logical: 0}
+	b := HLC{Wall: 10, Logical: 1}
+	c := HLC{Wall: 11, Logical: 0}
+	if !(a.Before(b) && b.Before(c) && a.Before(c)) {
+		t.Fatalf("order broken: %v %v %v", a, b, c)
+	}
+	if a.Compare(a) != 0 || b.Before(a) || c.Before(b) {
+		t.Fatalf("comparison not antisymmetric")
+	}
+	if !(HLC{}).IsZero() || (HLC{Logical: 1}).IsZero() {
+		t.Fatalf("IsZero wrong")
+	}
+}
+
+// TestRecorderStampsHLC: Record fills HLC when unset and leaves explicit
+// stamps alone, and Recorder.Observe pushes the clock forward.
+func TestRecorderStampsHLC(t *testing.T) {
+	r := NewRecorder("n1", 8)
+	e1 := r.Record(Event{Comp: "t", Kind: "a"})
+	if e1.HLC.IsZero() {
+		t.Fatalf("Record left HLC zero")
+	}
+	e2 := r.Record(Event{Comp: "t", Kind: "b"})
+	if !e1.HLC.Before(e2.HLC) {
+		t.Fatalf("recorder stamps not monotonic: %v then %v", e1.HLC, e2.HLC)
+	}
+	remote := HLC{Wall: e2.HLC.Wall + 10_000_000, Logical: 4}
+	r.Observe(remote)
+	e3 := r.Record(Event{Comp: "t", Kind: "c"})
+	if !remote.Before(e3.HLC) {
+		t.Fatalf("post-observe stamp %v not after remote %v", e3.HLC, remote)
+	}
+	pinned := HLC{Wall: 1, Logical: 1}
+	e4 := r.Record(Event{Comp: "t", Kind: "d", HLC: pinned})
+	if e4.HLC != pinned {
+		t.Fatalf("Record overwrote explicit stamp: %v", e4.HLC)
+	}
+}

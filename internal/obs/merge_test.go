@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// mergeCorpus builds a deterministic mixed-era event set: three nodes,
+// some events HLC-stamped (new recorders), some without (traces written
+// before the causal layer), some with parent edges, plus deliberate
+// wall-clock collisions so every tiebreak rule in mergeLess is hit.
+func mergeCorpus() [][]Event {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	stamp := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	var traces [][]Event
+	for n, node := range []string{"d01", "d02", "c01#d01"} {
+		var tr []Event
+		for i := 0; i < 12; i++ {
+			ev := Event{
+				Seq:  uint64(i + 1),
+				T:    stamp(int64(i * 10)), // collides across nodes on purpose
+				Node: node,
+				Comp: "test",
+				Kind: "k",
+			}
+			switch i % 3 {
+			case 0: // HLC-stamped, same wall across nodes, logical differs
+				ev.HLC = HLC{Wall: base.UnixMicro() + int64(i*10), Logical: uint64(n)}
+			case 1: // HLC-stamped receive with a parent edge
+				ev.HLC = HLC{Wall: base.UnixMicro() + int64(i*10), Logical: uint64(n + 3)}
+				ev.Parent = &EventRef{Node: "d01", Seq: uint64(i)}
+				ev.Detail = "kind=join-bcast"
+			case 2: // pre-causal event: no HLC at all
+				ev.Group = "g"
+				ev.View = "v1"
+			}
+			tr = append(tr, ev)
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+// TestMergePermutationDeterminism: obs.Merge is a pure function of the
+// event multiset — feeding the per-node traces in any order, or shuffling
+// events within the concatenation, yields a byte-identical JSON chain.
+// The corpus mixes HLC-stamped and unstamped events, so this also proves
+// old and new traces merge without panicking or losing determinism.
+func TestMergePermutationDeterminism(t *testing.T) {
+	traces := mergeCorpus()
+	ref, err := json.Marshal(Merge(traces...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 50; round++ {
+		// Shuffle trace order, then flatten and shuffle events globally:
+		// Merge must not depend on arrival order at either granularity.
+		perm := rng.Perm(len(traces))
+		var flat []Event
+		for _, p := range perm {
+			flat = append(flat, traces[p]...)
+		}
+		rng.Shuffle(len(flat), func(i, j int) { flat[i], flat[j] = flat[j], flat[i] })
+
+		got, err := json.Marshal(Merge(flat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(ref) {
+			t.Fatalf("round %d: merge not permutation-invariant\nref: %.200s\ngot: %.200s", round, ref, got)
+		}
+	}
+}
+
+// TestMergeHLCBeatsWallClock: an HLC-stamped receive orders after its
+// send even when the receiver's host wall clock says it happened first —
+// the exact skew scenario the stamps exist to repair.
+func TestMergeHLCBeatsWallClock(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	send := Event{
+		Seq: 1, Node: "fast", Comp: "t", Kind: "wire-send",
+		T:   base.Add(5 * time.Second), // fast host clock
+		HLC: HLC{Wall: base.Add(5 * time.Second).UnixMicro()},
+	}
+	recv := Event{
+		Seq: 1, Node: "slow", Comp: "t", Kind: "wire-recv",
+		T:      base, // slow host clock: wall time says recv < send
+		HLC:    HLC{Wall: send.HLC.Wall, Logical: 1},
+		Parent: &EventRef{Node: "fast", Seq: 1},
+	}
+	merged := Merge([]Event{recv}, []Event{send})
+	if merged[0].Node != "fast" || merged[1].Node != "slow" {
+		t.Fatalf("merge ordered by wall clock, not HLC: %v first", merged[0].Node)
+	}
+}
+
+// TestMergeMixedErasNoPanic: merging stamped and unstamped events —
+// including zero-time events and nil parents — must never panic, and
+// unstamped events keep their wall-clock position.
+func TestMergeMixedErasNoPanic(t *testing.T) {
+	old := []Event{
+		{Seq: 1, Node: "old", Comp: "t", Kind: "a", T: time.UnixMicro(100)},
+		{Seq: 2, Node: "old", Comp: "t", Kind: "b"}, // zero T and zero HLC
+	}
+	neu := []Event{
+		{Seq: 1, Node: "new", Comp: "t", Kind: "c", T: time.UnixMicro(150), HLC: HLC{Wall: 150}},
+	}
+	merged := Merge(old, neu, nil)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want 3", len(merged))
+	}
+	// The unstamped event at wall 100 sorts before the stamped one at 150.
+	idx := map[string]int{}
+	for i, e := range merged {
+		idx[e.Node+e.Kind] = i
+	}
+	if idx["olda"] > idx["newc"] {
+		t.Fatalf("unstamped event lost its wall-clock position: %v", merged)
+	}
+}

@@ -87,14 +87,23 @@ func NewScope(node, component string, opts ...ScopeOption) *Scope {
 	}
 }
 
-// Record stamps and records ev on the scope's recorder; nil-safe so
-// call sites need no guards.
-func (s *Scope) Record(ev Event) {
+// Record stamps and records ev on the scope's recorder, returning the
+// stamped event (with seq and HLC assigned) so wire send sites can put
+// its reference on the frame; nil-safe so call sites need no guards.
+func (s *Scope) Record(ev Event) Event {
+	if s == nil || s.Rec == nil {
+		return ev
+	}
+	ev.Node = s.Node
+	return s.Rec.Record(ev)
+}
+
+// Observe merges a remote HLC stamp into the scope's clock; nil-safe.
+func (s *Scope) Observe(h HLC) {
 	if s == nil || s.Rec == nil {
 		return
 	}
-	ev.Node = s.Node
-	s.Rec.Record(ev)
+	s.Rec.Observe(h)
 }
 
 var (

@@ -11,13 +11,25 @@ import (
 
 // Event is one entry of a node's causal trace. The fields mirror the
 // attribution chain of the paper's experiments: which group, which daemon
-// view, which key epoch a protocol step belongs to.
+// view, which key epoch a protocol step belongs to. Two fields carry the
+// causal structure across nodes: "hlc" is the hybrid-logical-clock stamp
+// issued at Record time (so merged traces order by happens-before, not by
+// host clocks agreeing), and "parent" — present only on receive events —
+// is the (node, seq) reference of the send event whose wire message this
+// event consumed, the cross-node edge of the happens-before graph.
 type Event struct {
 	// Seq is the per-recorder sequence number (1-based, monotonic); it
 	// breaks ties when merging traces whose clocks collide.
 	Seq uint64 `json:"seq"`
 	// T is the wall-clock stamp applied at Record time.
 	T time.Time `json:"t"`
+	// HLC is the hybrid logical clock stamp applied at Record time.
+	// Unlike T it is causally consistent across nodes: a receive always
+	// stamps after the matching send, whatever the hosts' clocks say.
+	HLC HLC `json:"hlc,omitzero"`
+	// Parent references the remote send event this event is a direct
+	// causal consequence of (receive events only).
+	Parent *EventRef `json:"parent,omitempty"`
 	// Node is the recording node ("d01", "c02#d01").
 	Node string `json:"node"`
 	// Comp is the recording layer: "spread", "flush", "core", "cliques",
@@ -35,6 +47,9 @@ type Event struct {
 	// Detail is free-form context (members, operation, state).
 	Detail string `json:"detail,omitempty"`
 }
+
+// Ref returns the event's (node, seq) identity in a merged trace.
+func (e Event) Ref() EventRef { return EventRef{Node: e.Node, Seq: e.Seq} }
 
 // String renders one trace line.
 func (e Event) String() string {
@@ -79,7 +94,8 @@ func defaultRingSize() int {
 // grows, so a wedged reader cannot stall a writer and a long run cannot
 // exhaust memory.
 type Recorder struct {
-	node string
+	node  string
+	clock *Clock
 
 	mu   sync.Mutex
 	buf  []Event
@@ -93,7 +109,25 @@ func NewRecorder(node string, capacity int) *Recorder {
 	if capacity <= 0 || capacity > maxRingSize {
 		capacity = defaultRingSize()
 	}
-	return &Recorder{node: node, buf: make([]Event, capacity)}
+	return &Recorder{node: node, clock: NewClock(), buf: make([]Event, capacity)}
+}
+
+// Clock returns the recorder's hybrid logical clock. Nil-safe.
+func (r *Recorder) Clock() *Clock {
+	if r == nil {
+		return nil
+	}
+	return r.clock
+}
+
+// Observe merges a remote HLC stamp into the recorder's clock without
+// recording an event — wire receive sites call it so every later local
+// stamp orders after the sender's. Nil-safe.
+func (r *Recorder) Observe(h HLC) {
+	if r == nil || h.IsZero() {
+		return
+	}
+	r.clock.Observe(h)
 }
 
 // Cap returns the ring capacity.
@@ -112,11 +146,14 @@ func (r *Recorder) Node() string {
 	return r.node
 }
 
-// Record stamps ev with the next sequence number (and the current time if
-// unset) and stores it, overwriting the oldest event when full. Nil-safe.
-func (r *Recorder) Record(ev Event) {
+// Record stamps ev with the next sequence number, the current time and
+// an HLC stamp (when unset) and stores it, overwriting the oldest event
+// when full. It returns the stamped event so callers can reference it —
+// wire send sites put the (node, seq) and HLC on the frame so the
+// receiver records the causal parent edge. Nil-safe.
+func (r *Recorder) Record(ev Event) Event {
 	if r == nil {
-		return
+		return ev
 	}
 	if ev.T.IsZero() {
 		ev.T = time.Now()
@@ -124,11 +161,15 @@ func (r *Recorder) Record(ev Event) {
 	if ev.Node == "" {
 		ev.Node = r.node
 	}
+	if ev.HLC.IsZero() {
+		ev.HLC = r.clock.Tick()
+	}
 	r.mu.Lock()
 	r.next++
 	ev.Seq = r.next
 	r.buf[(r.next-1)%uint64(len(r.buf))] = ev
 	r.mu.Unlock()
+	return ev
 }
 
 // Total returns the number of events ever recorded (recorded - retained =
@@ -212,21 +253,66 @@ func (r *Recorder) GroupEvents(group string) []Event {
 	return out
 }
 
-// Merge interleaves the traces of many nodes into one time-ordered chain.
-// Ties are broken by (node, seq) so the merge is deterministic.
+// Merge interleaves the traces of many nodes into one causally-ordered
+// chain. Events carrying an HLC stamp order by it — so a receive always
+// follows its send even when the hosts' wall clocks disagree; events
+// without one (recorded before the causal layer, or hand-built) fall
+// back to their wall-clock microsecond. The full comparison is a strict
+// total order over every event field, so merging the same traces in any
+// permutation yields the identical chain.
 func Merge(traces ...[]Event) []Event {
 	var out []Event
 	for _, t := range traces {
 		out = append(out, t...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if !out[i].T.Equal(out[j].T) {
-			return out[i].T.Before(out[j].T)
-		}
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Seq < out[j].Seq
+		return mergeLess(out[i], out[j])
 	})
 	return out
+}
+
+// mergeLess is the merge order: (HLC wall µs, HLC logical, wall-clock
+// ns, node, seq), then the remaining fields as a deterministic tiebreak
+// for hand-built duplicates. Events without an HLC stamp borrow their
+// wall microsecond with logical 0, which keeps old and new events in
+// one consistent order.
+func mergeLess(a, b Event) bool {
+	aw, bw := a.HLC.Wall, b.HLC.Wall
+	if a.HLC.IsZero() {
+		aw = a.T.UnixMicro()
+	}
+	if b.HLC.IsZero() {
+		bw = b.T.UnixMicro()
+	}
+	if aw != bw {
+		return aw < bw
+	}
+	if a.HLC.Logical != b.HLC.Logical {
+		return a.HLC.Logical < b.HLC.Logical
+	}
+	if !a.T.Equal(b.T) {
+		return a.T.Before(b.T)
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Comp != b.Comp {
+		return a.Comp < b.Comp
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	if a.View != b.View {
+		return a.View < b.View
+	}
+	if a.KeyEpoch != b.KeyEpoch {
+		return a.KeyEpoch < b.KeyEpoch
+	}
+	return a.Detail < b.Detail
 }

@@ -299,11 +299,12 @@ func (d *Daemon) run() {
 			d.shutdownClients()
 			return
 		case in := <-d.inbox:
-			msg, err := decodeWire(in.data)
+			msg, ext, err := decodeWireExt(in.data)
 			if err != nil {
 				continue // corrupt frame: drop
 			}
 			d.counters.countRecv(msg.Kind, len(in.data))
+			d.observeWireExt(in.from, msg.Kind, ext)
 			d.dispatch(in.from, msg)
 		case fn := <-d.acts:
 			fn()
@@ -361,7 +362,7 @@ func (d *Daemon) tick() {
 	}}
 	// Pooled encode: transports copy on Send, so the buffer recycles as
 	// soon as the fan-out loop finishes.
-	data, err := encodeWireTo(wirecodec.GetBuf(), hb)
+	data, err := encodeWireExtTo(wirecodec.GetBuf(), hb, d.clockExt())
 	if err == nil {
 		for _, p := range d.peers {
 			if p != d.name {
@@ -512,7 +513,7 @@ func (d *Daemon) broadcastData(p payload) {
 	// One pooled encode of the inner frame; under daemon keying it is
 	// sealed and wrapped in place (secSealEncode) rather than re-encoded,
 	// so the seal→encode→send chain copies the payload once.
-	inner, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m})
+	inner, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m}, d.wireSendExt(kindData))
 	if err == nil {
 		enc, kind := inner, kindData
 		var sealed []byte
@@ -589,7 +590,7 @@ func (d *Daemon) echoHeartbeat() {
 		Stable: d.receiveHorizon(),
 		Seq:    d.seq,
 	}}
-	data, err := encodeWireTo(wirecodec.GetBuf(), hb)
+	data, err := encodeWireExtTo(wirecodec.GetBuf(), hb, d.clockExt())
 	if err != nil {
 		wirecodec.PutBuf(data)
 		return
@@ -721,7 +722,7 @@ func (d *Daemon) onNack(from string, n *nackMsg) {
 // resendData re-sends one data message to a single daemon, sealed exactly
 // like the original broadcast when daemon keying is on.
 func (d *Daemon) resendData(to string, m *dataMsg) {
-	inner, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m})
+	inner, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m}, d.wireSendExt(kindData))
 	if err != nil {
 		wirecodec.PutBuf(inner)
 		return

@@ -7,6 +7,9 @@ import (
 	"reflect"
 	"strconv"
 	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/wirecodec"
 )
 
 // corpusWire returns one representative encoded frame per daemon wire kind,
@@ -51,21 +54,35 @@ func corpusWire(t testing.TB) [][]byte {
 		}},
 		{Kind: kindNack, Nack: &nackMsg{View: v, Sender: "d01", From: 2, To: 5}},
 	}
-	// Each message seeds both encodings: the binary codec (the default
-	// path) and legacy gob (the fallback path old corpora exercise).
+	// Each message seeds three encodings: the binary codec (the default
+	// path), the V2 variant carrying the causal-tracing extension, and
+	// legacy gob (the fallback path old corpora exercise).
 	var out [][]byte
 	for _, m := range msgs {
 		enc, err := encodeWire(m)
 		if err != nil {
 			t.Fatalf("encode corpus message kind %d: %v", m.Kind, err)
 		}
+		eenc, err := encodeWireExtTo(nil, m, corpusExt())
+		if err != nil {
+			t.Fatalf("ext-encode corpus message kind %d: %v", m.Kind, err)
+		}
 		genc, err := encodeWireGob(m)
 		if err != nil {
 			t.Fatalf("gob-encode corpus message kind %d: %v", m.Kind, err)
 		}
-		out = append(out, enc, genc)
+		out = append(out, enc, eenc, genc)
 	}
 	return out
+}
+
+// corpusExt is the deterministic causal extension stamped on the V2
+// corpus frames and used by the ext round-trip differentials.
+func corpusExt() *wirecodec.Ext {
+	return &wirecodec.Ext{
+		From: obs.EventRef{Node: "d01", Seq: 42},
+		HLC:  obs.HLC{Wall: 1700000000000000, Logical: 3},
+	}
 }
 
 // FuzzWireRoundTrip feeds arbitrary bytes to the daemon wire decoder. The

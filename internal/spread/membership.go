@@ -100,7 +100,7 @@ func (d *Daemon) startForming() {
 }
 
 func (d *Daemon) sendTo(to string, m *wireMsg) {
-	data, err := encodeWireTo(wirecodec.GetBuf(), m)
+	data, err := encodeWireExtTo(wirecodec.GetBuf(), m, d.wireSendExt(m.Kind))
 	if err != nil {
 		wirecodec.PutBuf(data)
 		return

@@ -125,6 +125,11 @@ func (d *Daemon) secReset() {
 		return
 	}
 	s.proto = proto
+	// Daemon-layer KGA bodies carry HLC stamps too, so the inter-daemon
+	// rekey shows up in the same happens-before graph as group rekeys.
+	if cs, ok := proto.(kga.CausalSetter); ok && d.obs != nil && d.obs.Rec != nil {
+		cs.SetCausal(&daemonCausal{d: d})
+	}
 
 	body := &secMsg{View: d.view.ID, Pub: proto.PubKey()}
 	d.secSendAll(kindSecAnnounce, body)
@@ -133,7 +138,7 @@ func (d *Daemon) secReset() {
 }
 
 func (d *Daemon) secSendAll(kind msgKind, body *secMsg) {
-	data, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kind, Sec: body})
+	data, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kind, Sec: body}, d.wireSendExt(kind))
 	if err != nil {
 		wirecodec.PutBuf(data)
 		return
@@ -203,7 +208,7 @@ func (d *Daemon) secDrive() {
 func (d *Daemon) secTransmit(msgs []kga.Message) {
 	for _, m := range msgs {
 		body := &secMsg{View: d.view.ID, KGA: &m}
-		data, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindSecKGA, Sec: body})
+		data, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindSecKGA, Sec: body}, d.wireSendExt(kindSecKGA))
 		if err != nil {
 			wirecodec.PutBuf(data)
 			continue
@@ -326,11 +331,11 @@ func (d *Daemon) secSealEncode(encoded []byte) ([]byte, error) {
 		wirecodec.PutBuf(frameBuf)
 		return nil, err
 	}
-	enc, err := encodeWireTo(wirecodec.GetBuf(), &wireMsg{Kind: kindSecData, Sec: &secMsg{
+	enc, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindSecData, Sec: &secMsg{
 		View:  d.view.ID,
 		Epoch: s.key.Epoch,
 		Frame: frame,
-	}})
+	}}, d.clockExt())
 	wirecodec.PutBuf(frame)
 	if err != nil {
 		wirecodec.PutBuf(enc)
@@ -362,10 +367,12 @@ func (d *Daemon) onSecData(from string, m *secMsg) {
 	if err != nil {
 		return // forged or corrupted: drop
 	}
-	inner, err := decodeWire(plain)
+	inner, ext, err := decodeWireExt(plain)
 	if err != nil || inner.Kind != kindData {
 		return
 	}
+	// The unsealed frame carries the original broadcast's causal stamp.
+	d.observeWireExt(from, kindData, ext)
 	d.onData(inner.Data)
 }
 

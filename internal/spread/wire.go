@@ -221,10 +221,19 @@ func encodeWire(m *wireMsg) ([]byte, error) {
 // the wirecodec preamble selects the binary codec, anything else is a
 // legacy gob frame (old traces, fuzz corpora, mixed-version peers).
 func decodeWire(data []byte) (*wireMsg, error) {
+	m, _, err := decodeWireExt(data)
+	return m, err
+}
+
+// decodeWireExt is decodeWire plus the frame's causal-tracing extension
+// (nil on V1 and gob frames — messages from old peers simply carry no
+// causal stamp).
+func decodeWireExt(data []byte) (*wireMsg, *wirecodec.Ext, error) {
 	if wirecodec.IsCodec(data) {
 		return decodeWireCodec(data)
 	}
-	return decodeWireGob(data)
+	m, err := decodeWireGob(data)
+	return m, nil, err
 }
 
 func encodeWireGob(m *wireMsg) ([]byte, error) {

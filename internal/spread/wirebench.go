@@ -44,8 +44,8 @@ func wireBenchMessages() []*wireMsg {
 		{Kind: kindSync, Sync: &syncMsg{Round: 7, Members: []string{"daemon-00", "daemon-01", "daemon-02"}}},
 		{Kind: kindSyncAck, SyncAck: &syncAckMsg{Round: 7, OldView: v, Msgs: []dataMsg{dm}}},
 		{Kind: kindInstall, Install: &installMsg{
-			Round: 8,
-			View:  View{ID: ViewID{Epoch: 4, Coord: "daemon-00"}, Members: []string{"daemon-00", "daemon-01"}},
+			Round:     8,
+			View:      View{ID: ViewID{Epoch: 4, Coord: "daemon-00"}, Members: []string{"daemon-00", "daemon-01"}},
 			Recovered: map[ViewID][]dataMsg{v: {dm}},
 		}},
 		{Kind: kindSecData, Sec: &secMsg{View: v, Epoch: 2, Frame: frame}},
@@ -88,7 +88,7 @@ func MeasureWireCodec(iters int) []WireCodecStat {
 
 		start = time.Now()
 		for i := 0; i < iters; i++ {
-			_, _ = decodeWireCodec(cenc)
+			_, _, _ = decodeWireCodec(cenc)
 		}
 		s.CodecDecNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
 

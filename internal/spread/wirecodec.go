@@ -22,6 +22,15 @@ import (
 // encodeWireTo appends m's encoding to buf (often a pooled buffer from
 // wirecodec.GetBuf) and returns the extended slice.
 func encodeWireTo(buf []byte, m *wireMsg) ([]byte, error) {
+	return encodeWireExtTo(buf, m, nil)
+}
+
+// encodeWireExtTo is encodeWireTo with a causal-tracing wire extension:
+// a non-nil ext selects the V2 preamble carrying the sender's HLC stamp
+// and send-event reference. The body encoding is identical either way;
+// messages that fall back to gob drop the extension (the legacy format
+// cannot carry it).
+func encodeWireExtTo(buf []byte, m *wireMsg, ext *wirecodec.Ext) ([]byte, error) {
 	if m.Kind <= 0 || m.Kind >= kindMax {
 		enc, err := encodeWireGob(m)
 		if err != nil {
@@ -29,7 +38,7 @@ func encodeWireTo(buf []byte, m *wireMsg) ([]byte, error) {
 		}
 		return append(buf, enc...), nil
 	}
-	b := wirecodec.AppendPreamble(buf)
+	b := wirecodec.AppendPreambleExt(buf, ext)
 	b = wirecodec.AppendInt(b, int64(m.Kind))
 	switch m.Kind {
 	case kindHeartbeat:
@@ -95,20 +104,20 @@ func appendPresent(b []byte, isNil bool) []byte {
 	return append(b, 1)
 }
 
-func decodeWireCodec(data []byte) (*wireMsg, error) {
+func decodeWireCodec(data []byte) (*wireMsg, *wirecodec.Ext, error) {
 	d := wirecodec.NewDec(data)
 	m := &wireMsg{Kind: msgKind(d.Int())}
 	if err := d.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if m.Kind <= 0 || m.Kind >= kindMax {
-		return nil, fmt.Errorf("decode wire message: unknown kind %d", int(m.Kind))
+		return nil, nil, fmt.Errorf("decode wire message: unknown kind %d", int(m.Kind))
 	}
 	if !d.Bool() {
 		if err := d.Close(); err != nil {
-			return nil, fmt.Errorf("decode wire message: %w", err)
+			return nil, nil, fmt.Errorf("decode wire message: %w", err)
 		}
-		return m, nil
+		return m, d.Ext(), nil
 	}
 	switch m.Kind {
 	case kindHeartbeat:
@@ -145,9 +154,9 @@ func decodeWireCodec(data []byte) (*wireMsg, error) {
 		m.Nack = n
 	}
 	if err := d.Close(); err != nil {
-		return nil, fmt.Errorf("decode wire message: %w", err)
+		return nil, nil, fmt.Errorf("decode wire message: %w", err)
 	}
-	return m, nil
+	return m, d.Ext(), nil
 }
 
 // ---- field group encoders ----

@@ -1,6 +1,7 @@
 package spread
 
 import (
+	"bytes"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -258,23 +259,61 @@ func FuzzWireCodec(f *testing.F) {
 		if len(raw) > 1<<16 {
 			return
 		}
+		// The same body bytes are tried under both preambles: V1 (no
+		// extension) and V2 (the leading bytes parse as the causal
+		// extension header). Neither may panic.
 		frame := append(wirecodec.AppendPreamble(nil), raw...)
-		m, err := decodeWireCodec(frame)
-		if err != nil {
-			return
+		if m, _, err := decodeWireCodec(frame); err == nil {
+			checkWireCodecIdentity(t, m)
 		}
-		enc, err := encodeWireTo(nil, m)
-		if err != nil {
-			t.Fatalf("accepted frame failed to re-encode: %v (%#v)", err, m)
-		}
-		m2, err := decodeWireCodec(enc)
-		if err != nil {
-			t.Fatalf("re-encoded frame failed to decode: %v", err)
-		}
-		if !reflect.DeepEqual(m, m2) {
-			t.Fatalf("codec round trip not identity:\nfirst:  %#v\nsecond: %#v", m, m2)
+		frameV2 := append([]byte{wirecodec.Magic, wirecodec.V2}, raw...)
+		if m, _, err := decodeWireCodec(frameV2); err == nil {
+			checkWireCodecIdentity(t, m)
 		}
 	})
+}
+
+// checkWireCodecIdentity asserts the codec invariants on an accepted
+// message: re-encode/decode is an exact identity, and the no-extension ↔
+// extension differential — the same message encoded with a causal
+// extension must decode identically (returning the extension), and its
+// body after the versioned header must be byte-identical to the V1
+// body, so old nodes and new nodes decode the same message from the
+// same bytes.
+func checkWireCodecIdentity(t *testing.T, m *wireMsg) {
+	t.Helper()
+	enc, err := encodeWireTo(nil, m)
+	if err != nil {
+		t.Fatalf("accepted frame failed to re-encode: %v (%#v)", err, m)
+	}
+	m2, ext2, err := decodeWireCodec(enc)
+	if err != nil {
+		t.Fatalf("re-encoded frame failed to decode: %v", err)
+	}
+	if ext2 != nil {
+		t.Fatalf("extension materialized out of a V1 frame: %#v", ext2)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatalf("codec round trip not identity:\nfirst:  %#v\nsecond: %#v", m, m2)
+	}
+	ext := corpusExt()
+	encExt, err := encodeWireExtTo(nil, m, ext)
+	if err != nil {
+		t.Fatalf("ext encode failed: %v", err)
+	}
+	m3, gotExt, err := decodeWireCodec(encExt)
+	if err != nil {
+		t.Fatalf("ext frame failed to decode: %v", err)
+	}
+	if gotExt == nil || *gotExt != *ext {
+		t.Fatalf("extension did not round-trip: got %#v want %#v", gotExt, ext)
+	}
+	if !reflect.DeepEqual(m, m3) {
+		t.Fatalf("ext frame decoded differently:\nplain: %#v\next:   %#v", m, m3)
+	}
+	if !bytes.HasSuffix(encExt, enc[2:]) {
+		t.Fatalf("V2 body diverged from V1 body:\nV1: %x\nV2: %x", enc, encExt)
+	}
 }
 
 // TestWriteWireCodecCorpus regenerates the checked-in FuzzWireCodec seeds

@@ -29,7 +29,7 @@
 //     property the fuzz round-trip harnesses pin
 //   - strings: uvarint length + bytes
 //   - *big.Int: presence/sign byte (0 nil, 1 zero-or-positive, 2 negative)
-//     + magnitude bytes
+//     followed by the magnitude bytes
 //   - slices and maps: nil-preserving count prefix; maps are encoded in
 //     sorted key order so encoding is deterministic
 //
@@ -45,6 +45,8 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
+
+	"repro/internal/obs"
 )
 
 // Preamble bytes shared by every package-level format built on this codec.
@@ -53,8 +55,15 @@ const (
 	// begins with a nonzero message length, so this byte alone
 	// discriminates codec frames from legacy gob frames.
 	Magic = 0x00
-	// V1 is the current format version, the second byte of the preamble.
+	// V1 is the base format version, the second byte of the preamble.
 	V1 = 0x01
+	// V2 is V1 plus a length-prefixed causal-tracing extension between
+	// the preamble and the body: the sender's hybrid-logical-clock stamp
+	// and the (node, seq) reference of the send trace event. The length
+	// prefix makes the extension self-delimiting, so decoders skip
+	// fields appended by future versions, and a V2 frame with the
+	// extension stripped is byte-for-byte a V1 frame.
+	V2 = 0x02
 )
 
 // Errors returned by decoding.
@@ -66,14 +75,48 @@ var (
 	ErrTrailing   = errors.New("wirecodec: trailing bytes after value")
 )
 
-// IsCodec reports whether data begins with the wirecodec preamble, i.e.
-// whether the new codec (rather than the gob fallback) should decode it.
+// IsCodec reports whether data begins with a wirecodec preamble (any
+// known version), i.e. whether the new codec (rather than the gob
+// fallback) should decode it.
 func IsCodec(data []byte) bool {
-	return len(data) >= 2 && data[0] == Magic && data[1] == V1
+	return len(data) >= 2 && data[0] == Magic && (data[1] == V1 || data[1] == V2)
 }
 
 // AppendPreamble appends the [Magic][V1] preamble.
 func AppendPreamble(b []byte) []byte { return append(b, Magic, V1) }
+
+// Ext is the V2 causal-tracing wire extension: the sender's hybrid
+// logical clock at send time plus the trace reference of the send
+// event. Receivers merge HLC into their clock (so receive stamps order
+// after the send, whatever the host clocks say) and record From as the
+// causal parent of the receive event. From.Seq == 0 means the sender
+// stamped the clock but recorded no send event (heartbeats and other
+// chatter that would flood the trace ring).
+type Ext struct {
+	From obs.EventRef
+	HLC  obs.HLC
+}
+
+// AppendPreambleExt appends the preamble, versioned by the extension: a
+// nil ext emits a plain V1 preamble (byte-identical to AppendPreamble,
+// so old peers keep decoding), a non-nil ext emits [Magic][V2] and the
+// length-prefixed extension payload. The body that follows is the same
+// either way.
+func AppendPreambleExt(b []byte, ext *Ext) []byte {
+	if ext == nil {
+		return append(b, Magic, V1)
+	}
+	b = append(b, Magic, V2)
+	// Payload built on the stack: node + 3 varints stay tiny.
+	var tmp [64]byte
+	p := tmp[:0]
+	p = AppendString(p, ext.From.Node)
+	p = binary.AppendUvarint(p, ext.From.Seq)
+	p = AppendInt(p, ext.HLC.Wall)
+	p = binary.AppendUvarint(p, ext.HLC.Logical)
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
 
 // ---- append-style encoding primitives ----
 
@@ -155,24 +198,66 @@ type Dec struct {
 	b   []byte
 	off int
 	err error
+	ext *Ext
 }
 
 // NewDec builds a decoder over data positioned after the preamble. It
-// verifies the preamble and returns ErrNotCodec / ErrBadVersion mismatches
-// through the decoder's error state.
+// verifies the preamble (parsing the V2 causal extension when present)
+// and returns ErrNotCodec / ErrBadVersion mismatches through the
+// decoder's error state.
 func NewDec(data []byte) *Dec {
 	d := &Dec{b: data}
 	if len(data) < 2 || data[0] != Magic {
 		d.err = ErrNotCodec
 		return d
 	}
-	if data[1] != V1 {
+	switch data[1] {
+	case V1:
+		d.off = 2
+	case V2:
+		d.off = 2
+		d.readExt()
+	default:
 		d.err = ErrBadVersion
-		return d
 	}
-	d.off = 2
 	return d
 }
+
+// readExt parses the V2 extension block. The length prefix delimits it,
+// so fields appended by future versions are skipped; a block whose
+// declared fields overrun the prefix is corrupt.
+func (d *Dec) readExt() {
+	n := d.Uvarint()
+	if d.err != nil {
+		return
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(ErrTruncated)
+		return
+	}
+	end := d.off + int(n)
+	if n == 0 {
+		return // stampless V2 frame: legal, same as V1
+	}
+	var ext Ext
+	ext.From.Node = d.String()
+	ext.From.Seq = d.Uvarint()
+	ext.HLC.Wall = d.Int()
+	ext.HLC.Logical = d.Uvarint()
+	if d.err != nil {
+		return
+	}
+	if d.off > end {
+		d.fail(ErrTruncated)
+		return
+	}
+	d.off = end // skip unknown future fields
+	d.ext = &ext
+}
+
+// Ext returns the frame's causal-tracing extension, or nil for V1
+// frames (and V2 frames with an empty extension block).
+func (d *Dec) Ext() *Ext { return d.ext }
 
 // Err returns the first decoding error, or nil.
 func (d *Dec) Err() error { return d.err }

@@ -116,4 +116,21 @@ if grep -q 'UNREACHABLE' "$WORK/report.txt"; then
     exit 1
 fi
 
-echo "obs-smoke: PASS (3 daemons, 9 endpoints, 1+ fully-phased join rekey)"
+# Causal critical path over the same bundle: the join rekey must come out
+# as a happens-before-connected chain (every step ordered by the HLC
+# graph, not by wall clocks agreeing), and the trace must carry zero
+# causal-order violations — sgctrace crit exits 2 if any check fires.
+echo "obs-smoke: sgctrace crit"
+"$WORK/sgctrace" crit -group smoke "$WORK/bundle.json" > "$WORK/crit.txt" || {
+    echo "obs-smoke: FAIL: sgctrace crit found causal-order violations" >&2
+    cat "$WORK/crit.txt" >&2
+    exit 1
+}
+if ! grep -q 'connected=true' "$WORK/crit.txt"; then
+    echo "obs-smoke: FAIL: no happens-before-connected critical path" >&2
+    cat "$WORK/crit.txt" >&2
+    exit 1
+fi
+sed -n '1,20p' "$WORK/crit.txt"
+
+echo "obs-smoke: PASS (3 daemons, 9 endpoints, 1+ fully-phased join rekey, connected critical path)"
