@@ -3,16 +3,20 @@ GO ?= go
 # The rekey sweep behind BENCH_rekey.json and the bench-diff gate.
 SWEEP_FLAGS ?= -sizes 2..8 -batch 3
 
+# Messages per sweep point for the bulk-throughput gate; the checked-in
+# baseline uses the default.
+BULK_COUNT ?= 20000
+
 .PHONY: check vet build test race chaos chaos-tcp chaos-tcp-short bench-exp \
 	bench-obs bench-rekey bench-report bench-diff bench-wire bench-wire-diff \
-	obs-smoke mon-smoke crit-smoke
+	bench-bulk bench-bulk-diff obs-smoke mon-smoke crit-smoke
 
 ## check: the full local gate — vet, build, tests, the race suite on the
 ## packages with concurrency-sensitive fast paths, a short chaos schedule
 ## replayed over real TCP sockets, the causal-order gate, and the
-## regression gates against the checked-in baselines (rekey latency and
-## the data-plane wire sweep).
-check: vet build test race chaos-tcp-short crit-smoke bench-diff bench-wire-diff
+## regression gates against the checked-in baselines (rekey latency, the
+## data-plane wire sweep, and bulk throughput).
+check: vet build test race chaos-tcp-short crit-smoke bench-diff bench-wire-diff bench-bulk-diff
 
 vet:
 	$(GO) vet ./...
@@ -89,6 +93,22 @@ bench-wire-diff:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/sgcbench -wire -wire-out $$tmp >/dev/null && \
 	$(GO) run ./cmd/sgctrace diff BENCH_wire.json $$tmp; \
+	st=$$?; rm -f $$tmp; exit $$st
+
+## bench-bulk: regenerate the checked-in BENCH_throughput.json baseline
+## (sustained encrypted AGREED multicast rate over message sizes, cipher
+## suites and group sizes, best of several runs per point).
+bench-bulk:
+	$(GO) run ./cmd/sgcbench -bulk -bulk-count $(BULK_COUNT) -bulk-out BENCH_throughput.json
+
+## bench-bulk-diff: the throughput regression gate — rerun the bulk sweep
+## and compare it against the checked-in baseline; fails when any cell's
+## delivery rate collapses below baseline/ratio (throughput gates
+## downward, unlike the timing gates).
+bench-bulk-diff:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/sgcbench -bulk -bulk-count $(BULK_COUNT) -bulk-out $$tmp >/dev/null && \
+	$(GO) run ./cmd/sgctrace diff BENCH_throughput.json $$tmp; \
 	st=$$?; rm -f $$tmp; exit $$st
 
 ## crit-smoke: the causal-order gate — the happens-before checker's unit

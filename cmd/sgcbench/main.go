@@ -13,6 +13,7 @@
 //	sgcbench -chaos -seed 4 -events 33     # deterministic fault-schedule run
 //	sgcbench -sizes 2..8                   # rekey phase-decomposition sweep
 //	sgcbench -wire                         # Figure 5: wire codec + latency/size
+//	sgcbench -bulk                         # Figure 4: bulk AGREED throughput
 //
 // The chaos mode replays a seeded fault schedule against a live cluster and
 // checks the five global invariants (see internal/chaos); it exits nonzero
@@ -29,6 +30,12 @@
 // live two-member cluster, reproducing the shape of the paper's Figure 5.
 // It writes BENCH_wire.json — the input of the `sgctrace diff` data-plane
 // gate (`make bench-wire-diff`).
+//
+// The bulk mode measures sustained encrypted AGREED multicast throughput
+// over the full stack — message-size, cipher-suite and group-size sweeps,
+// best of several runs per point — the paper's claim that once the key is
+// agreed, bulk data privacy is cheap. It writes BENCH_throughput.json —
+// the input of the `sgctrace diff` throughput gate (`make bench-bulk-diff`).
 package main
 
 import (
@@ -78,6 +85,9 @@ func main() {
 	wireMode := flag.Bool("wire", false, "data-plane sweep: wire-codec microbench + message-latency-vs-size over the live stack")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire mode: write the data-plane report here (empty disables)")
 	wireCount := flag.Int("wire-count", 40, "wire mode: messages measured per payload size")
+	bulkMode := flag.Bool("bulk", false, "bulk-throughput sweep: sustained AGREED multicast rate over message sizes, suites and group sizes")
+	bulkOut := flag.String("bulk-out", "BENCH_throughput.json", "bulk mode: write the throughput report here (empty disables)")
+	bulkCount := flag.Int("bulk-count", 20000, "bulk mode: messages per sweep point")
 	flag.Parse()
 
 	exp := *experiment
@@ -92,6 +102,13 @@ func main() {
 	}
 	if exp == "wire" {
 		if err := wireExperiment(*wireOut, *wireCount); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bulkMode {
+		if err := bulkExperiment(*bulkOut, *bulkCount); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -266,6 +283,40 @@ func wireExperiment(wireOut string, count int) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", wireOut)
+	}
+	return nil
+}
+
+// bulkExperiment runs the bulk-throughput sweep behind
+// BENCH_throughput.json: sustained encrypted AGREED multicast rate from
+// one member of a secured group, end-to-end (the clock stops when the
+// slowest member has received everything), best of bench.BulkReps runs
+// per sweep point.
+func bulkExperiment(bulkOut string, count int) error {
+	fmt.Printf("== bulk AGREED throughput (best of %d runs, %d msgs/point) ==\n", bench.BulkReps, count)
+	results, err := bench.RunBulkSweep(bench.DefaultBulkSweep(count))
+	if err != nil {
+		return err
+	}
+	out := analyze.ThroughputBench{}
+	tw := newTab()
+	fmt.Fprintln(tw, "proto\tsuite\tmembers\tsize\tmsgs/s\tMB/s")
+	for _, r := range results {
+		out.Points = append(out.Points, analyze.ThroughputPoint{
+			Proto: r.Proto, Suite: r.Suite, Members: r.Members,
+			MsgSize: r.MsgSize, Count: r.Count,
+			MsgsPerSec: r.MsgsPerSec, MBPerSec: r.MBPerSec,
+		})
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%dB\t%.0f\t%.2f\n",
+			r.Proto, r.Suite, r.Members, r.MsgSize, r.MsgsPerSec, r.MBPerSec)
+	}
+	tw.Flush()
+
+	if bulkOut != "" {
+		if err := bench.WriteJSON(bulkOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", bulkOut)
 	}
 	return nil
 }

@@ -356,6 +356,15 @@ func diffFiles(w io.Writer, oldPath, newPath string, opt analyze.DiffOptions) ([
 		regs = analyze.DiffBench(oldB.rekey, newB.rekey, opt)
 	case oldB.wire != nil && newB.wire != nil:
 		regs = analyze.DiffWireBench(oldB.wire, newB.wire, opt)
+	case oldB.throughput != nil && newB.throughput != nil:
+		// Throughput regresses downward; the diff divides by the ratio and
+		// ignores -floor/-count-tol. The flag default is the timing ratio,
+		// which is too lax for rates — treat it as unset so the throughput
+		// default applies; an explicit -ratio still wins.
+		if opt.TimeRatio == analyze.DefaultTimeRatio {
+			opt.TimeRatio = 0
+		}
+		regs = analyze.DiffThroughputBench(oldB.throughput, newB.throughput, opt)
 	default:
 		return nil, fmt.Errorf("diff: %s and %s are different bench kinds", oldPath, newPath)
 	}
@@ -433,11 +442,13 @@ func cmdCrit(args []string) error {
 	return nil
 }
 
-// benchFile is either sweep schema the diff gate accepts: the rekey
-// phase-decomposition file or the data-plane wire file.
+// benchFile is any sweep schema the diff gate accepts: the rekey
+// phase-decomposition file, the data-plane wire file, or the bulk
+// throughput file.
 type benchFile struct {
-	rekey *analyze.RekeyBench
-	wire  *analyze.WireBench
+	rekey      *analyze.RekeyBench
+	wire       *analyze.WireBench
+	throughput *analyze.ThroughputBench
 }
 
 func loadBench(path string) (*benchFile, error) {
@@ -462,6 +473,12 @@ func loadBench(path string) (*benchFile, error) {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		return &benchFile{wire: &b}, nil
+	case probe["throughput"] != nil:
+		var b analyze.ThroughputBench
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &benchFile{throughput: &b}, nil
 	}
-	return nil, fmt.Errorf("%s: not a BENCH_rekey.json or BENCH_wire.json sweep file", path)
+	return nil, fmt.Errorf("%s: not a BENCH_rekey.json, BENCH_wire.json or BENCH_throughput.json sweep file", path)
 }

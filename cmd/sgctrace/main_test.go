@@ -246,6 +246,84 @@ func TestDiffRegressionGate(t *testing.T) {
 	}
 }
 
+func writeThroughputBench(t *testing.T, name string, msgsPerSec float64) string {
+	t.Helper()
+	b := &analyze.ThroughputBench{Points: []analyze.ThroughputPoint{{
+		Proto: "cliques", Suite: "blowfish-cbc", Members: 2,
+		MsgSize: 256, Count: 20000, MsgsPerSec: msgsPerSec,
+		MBPerSec: msgsPerSec * 256 / (1 << 20),
+	}}}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffThroughputGate pins the throughput gate's inverted direction: a
+// rate collapse fails, a rate gain or ratio-tolerated dip passes, and a
+// sweep sharing no cells fails on coverage.
+func TestDiffThroughputGate(t *testing.T) {
+	// The flag default ratio stands in for "user did not pass -ratio"; the
+	// throughput gate must swap in its own tighter default (3x).
+	defOpt := analyze.DiffOptions{TimeRatio: analyze.DefaultTimeRatio,
+		TimeFloorMs: analyze.DefaultTimeFloorMs}
+	base := writeThroughputBench(t, "old.json", 60000)
+
+	var out strings.Builder
+	regs, err := diffFiles(&out, base, writeThroughputBench(t, "faster.json", 90000), defOpt)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("faster run flagged: regs=%v err=%v\n%s", regs, err, out.String())
+	}
+
+	// Half the rate is within the 3x tolerance (shared machines are noisy).
+	out.Reset()
+	regs, err = diffFiles(&out, base, writeThroughputBench(t, "dip.json", 30000), defOpt)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("tolerated dip flagged: regs=%v err=%v\n%s", regs, err, out.String())
+	}
+
+	// A collapse below old/3 fails.
+	out.Reset()
+	regs, err = diffFiles(&out, base, writeThroughputBench(t, "collapse.json", 9000), defOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(out.String(),
+		"REGRESSION throughput/cliques/blowfish-cbc/m2/size256/msgs_per_sec") {
+		t.Fatalf("collapse not caught: regs=%v\n%s", regs, out.String())
+	}
+
+	// An explicit tighter -ratio wins over the default.
+	out.Reset()
+	regs, err = diffFiles(&out, base, writeThroughputBench(t, "dip2.json", 30000),
+		analyze.DiffOptions{TimeRatio: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("explicit ratio ignored: regs=%v\n%s", regs, out.String())
+	}
+
+	// No shared cells: the gate fails on coverage, never silently passes.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"throughput": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	regs, err = diffFiles(&out, base, empty, defOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "coverage/comparable_metrics" {
+		t.Fatalf("empty comparison passed: %v", regs)
+	}
+}
+
 // TestReportOnBenchFile checks report's third input shape: a sweep file
 // renders its per-class/per-size tables and exponentiation rows.
 func TestReportOnBenchFile(t *testing.T) {

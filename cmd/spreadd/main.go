@@ -213,7 +213,10 @@ func run(opt options) error {
 			log.Printf("daemon %s stopped", name)
 			return nil
 		case <-ticker.C:
-			v := d.CurrentView()
+			v, ok := d.CurrentView()
+			if !ok {
+				continue
+			}
 			if v.ID != last {
 				last = v.ID
 				log.Printf("view %s: members %v", v.ID, v.Members)
@@ -247,7 +250,14 @@ func waitOrSignal(wg *sync.WaitGroup, timeout time.Duration) {
 // picks its secure session back up without operator action.
 func embeddedClient(d *spread.Daemon, fullView int, group, proto string, delay time.Duration, stop <-chan struct{}) {
 	deadline := time.Now().Add(2 * time.Minute)
-	for len(d.CurrentView().Members) < fullView {
+	for {
+		v, ok := d.CurrentView()
+		if !ok {
+			return // daemon stopped
+		}
+		if len(v.Members) >= fullView {
+			break
+		}
 		if time.Now().After(deadline) {
 			log.Printf("embedded client: full %d-daemon view never formed; joining anyway", fullView)
 			break

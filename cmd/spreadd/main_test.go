@@ -100,7 +100,11 @@ func TestDebugEndpoints(t *testing.T) {
 	// Let the pair agree on a two-member view so the metrics and trace
 	// are non-trivial.
 	deadline := time.Now().Add(10 * time.Second)
-	for len(daemons[0].CurrentView().Members) != 2 {
+	for {
+		v, ok := daemons[0].CurrentView()
+		if ok && len(v.Members) == 2 {
+			break
+		}
 		if time.Now().After(deadline) {
 			t.Fatal("daemons never agreed on a two-member view")
 		}

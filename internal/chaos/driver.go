@@ -466,7 +466,11 @@ func (d *driver) causalTrace(merged []obs.Event) []string {
 	var out []string
 	for _, name := range d.aliveDaemons() {
 		dm := d.daemons[name]
-		v := dm.CurrentView()
+		v, ok := dm.CurrentView()
+		if !ok {
+			out = append(out, fmt.Sprintf("node %s: daemon stopped", name))
+			continue
+		}
 		out = append(out, fmt.Sprintf("node %s: daemon view=%s members=%v", name, v.ID, v.Members))
 	}
 	for _, sc := range d.dead {
@@ -533,13 +537,13 @@ func (d *driver) daemonsAgree(names []string) bool {
 	if len(names) == 0 {
 		return true
 	}
-	ref := d.daemons[names[0]].CurrentView()
-	if len(ref.Members) != len(names) {
+	ref, ok := d.daemons[names[0]].CurrentView()
+	if !ok || len(ref.Members) != len(names) {
 		return false
 	}
 	for _, n := range names {
-		v := d.daemons[n].CurrentView()
-		if v.ID != ref.ID {
+		v, ok := d.daemons[n].CurrentView()
+		if !ok || v.ID != ref.ID {
 			return false
 		}
 	}

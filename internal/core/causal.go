@@ -51,9 +51,21 @@ func (c *Conn) envSendExt(group string, kind int) *wirecodec.Ext {
 		Comp:   "core",
 		Kind:   "wire-send",
 		Group:  group,
-		Detail: "kind=" + envKindName(kind),
+		Detail: envKindDetail(kind),
 	})
 	return &wirecodec.Ext{From: ev.Ref(), HLC: ev.HLC}
+}
+
+// envClockExt returns an extension carrying only an HLC stamp — for data
+// envelopes, which propagate the clock without recording trace events.
+// The data path's causal edge the checkers rely on is the flush layer's
+// send→deliver pair; recording a core wire-send/wire-recv pair per bulk
+// message on top of it costs two ring writes and two clock reads each.
+func (c *Conn) envClockExt() *wirecodec.Ext {
+	if c.obs == nil || c.obs.Rec == nil {
+		return nil
+	}
+	return &wirecodec.Ext{HLC: c.obs.Rec.Clock().Tick()}
 }
 
 // observeEnvExt runs on every decoded envelope: it merges the sender's
@@ -72,6 +84,6 @@ func (c *Conn) observeEnvExt(from, group string, kind int, ext *wirecodec.Ext) {
 		Kind:   "wire-recv",
 		Parent: &parent,
 		Group:  group,
-		Detail: "kind=" + envKindName(kind) + " from=" + from,
+		Detail: envKindDetail(kind) + " from=" + from,
 	})
 }

@@ -1,17 +1,22 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/big"
 	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/crypt"
 	"repro/internal/dh"
 	"repro/internal/flush"
 	"repro/internal/kga"
 	"repro/internal/obs"
 	"repro/internal/spread"
+	"repro/internal/wirecodec"
 )
 
 // Errors returned by the secure layer API.
@@ -39,6 +44,145 @@ type Conn struct {
 
 	// Loop-owned state.
 	groups map[string]*groupCtx
+
+	// sealers holds one epoch-pinned key snapshot holder per joined group,
+	// so Multicast seals on the caller's goroutine without a round-trip
+	// through the event loop. The map itself changes only on join/leave
+	// (under sealMu); the loop publishes a fresh sealState into the holder
+	// when a key installs and revokes it (stores nil) when a view change
+	// invalidates the key.
+	sealMu  sync.RWMutex
+	sealers map[string]*atomic.Pointer[sealState]
+
+	// sent caches frames this member sealed and has not yet seen loop
+	// back, so the delivery path skips decrypting bytes we produced
+	// moments ago.
+	sent sentFrames
+}
+
+// sentFrames is a bounded opportunistic cache over the sender's own
+// in-flight frames: AGREED multicast delivers the sender's copy too, and
+// opening a frame whose plaintext we still hold is pure overhead on the
+// bulk path. Entries are keyed by the frame's tail (the MAC for real
+// suites — unique per seal thanks to the fresh IV) and validated with a
+// full-frame compare on lookup, so a hit is exact-ciphertext identity and
+// sound for every suite. Misses — evicted entries, frames dropped by a
+// view change, remote senders — fall back to a normal authenticated open.
+type sentFrames struct {
+	mu    sync.Mutex
+	m     map[string]sentEntry
+	order []string // FIFO eviction order; head marks consumed prefix
+	head  int
+	bytes int
+}
+
+type sentEntry struct {
+	frame []byte
+	plain []byte
+}
+
+const (
+	sentKeyLen       = 16
+	sentMaxEntries   = 4096
+	sentMaxBytes     = 4 << 20
+	sentMaxFrameSize = sentMaxBytes / 8
+)
+
+func sentKey(frame []byte) (string, bool) {
+	if len(frame) < sentKeyLen {
+		return "", false
+	}
+	return string(frame[len(frame)-sentKeyLen:]), true
+}
+
+// remember stores a sealed frame and its plaintext; both are copied.
+// Oversized frames are not cached — the open they cost later is cheaper
+// than churning the whole cache through eviction.
+func (s *sentFrames) remember(frame, plain []byte) {
+	k, ok := sentKey(frame)
+	if !ok || len(frame)+len(plain) > sentMaxFrameSize {
+		return
+	}
+	// One allocation for both copies; the subslices never grow.
+	buf := make([]byte, len(frame)+len(plain))
+	copy(buf, frame)
+	copy(buf[len(frame):], plain)
+	e := sentEntry{frame: buf[:len(frame):len(frame)], plain: buf[len(frame):]}
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]sentEntry)
+	}
+	if _, dup := s.m[k]; !dup {
+		s.m[k] = e
+		s.order = append(s.order, k)
+		s.bytes += len(e.frame) + len(e.plain)
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+}
+
+// take returns the cached plaintext for an exact frame match and removes
+// the entry; a miss returns false and leaves the cache untouched.
+func (s *sentFrames) take(frame []byte) ([]byte, bool) {
+	k, ok := sentKey(frame)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	e, hit := s.m[k]
+	if hit && bytes.Equal(e.frame, frame) {
+		delete(s.m, k)
+		s.bytes -= len(e.frame) + len(e.plain)
+		s.mu.Unlock()
+		return e.plain, true
+	}
+	s.mu.Unlock()
+	return nil, false
+}
+
+// clear drops every entry (group departure or teardown).
+func (s *sentFrames) clear() {
+	s.mu.Lock()
+	s.m = nil
+	s.order = nil
+	s.head = 0
+	s.bytes = 0
+	s.mu.Unlock()
+}
+
+// evictLocked enforces the entry and byte caps FIFO-wise. The order slice
+// uses a head index instead of reslicing so the backing array does not
+// retain consumed keys, and compacts once the dead prefix dominates.
+func (s *sentFrames) evictLocked() {
+	for (len(s.order)-s.head > sentMaxEntries || s.bytes > sentMaxBytes) && s.head < len(s.order) {
+		k := s.order[s.head]
+		s.order[s.head] = ""
+		s.head++
+		if e, ok := s.m[k]; ok { // absent when take consumed it
+			delete(s.m, k)
+			s.bytes -= len(e.frame) + len(e.plain)
+		}
+	}
+	switch {
+	case s.head == len(s.order):
+		s.order = s.order[:0]
+		s.head = 0
+	case s.head >= 64 && s.head > len(s.order)/2:
+		n := copy(s.order, s.order[s.head:])
+		clear(s.order[n:])
+		s.order = s.order[:n]
+		s.head = 0
+	}
+}
+
+
+// sealState is one group's sealing snapshot: the installed suite pinned to
+// its key epoch. Immutable after publication — rekeys publish a new one.
+// firstSend latches the once-per-epoch first-send trace event.
+type sealState struct {
+	epoch     uint64
+	suite     crypt.Suite
+	firstSend atomic.Bool
 }
 
 // Option configures a Conn.
@@ -80,6 +224,7 @@ func New(client spread.Endpoint, opts ...Option) *Conn {
 		events:  make(chan Event, 8192),
 		done:    make(chan struct{}),
 		groups:  make(map[string]*groupCtx),
+		sealers: make(map[string]*atomic.Pointer[sealState]),
 	}
 	for _, o := range opts {
 		o(c)
@@ -185,6 +330,9 @@ func (c *Conn) Join(group, protoName, suiteName string) error {
 		}
 		g.proto = proto
 		c.groups[group] = g
+		c.sealMu.Lock()
+		c.sealers[group] = &atomic.Pointer[sealState]{}
+		c.sealMu.Unlock()
 	})
 	if doErr != nil {
 		return doErr
@@ -193,10 +341,37 @@ func (c *Conn) Join(group, protoName, suiteName string) error {
 		return err
 	}
 	if err := c.f.Join(group); err != nil {
-		_ = c.do(func() { delete(c.groups, group) })
+		_ = c.do(func() {
+			delete(c.groups, group)
+			c.dropSealer(group)
+		})
 		return err
 	}
 	return nil
+}
+
+// publishSealer installs a group's sealing snapshot for edge senders; a nil
+// suite revokes it (senders fail ErrNotSecured until the next key installs).
+// Runs on the event loop.
+func (c *Conn) publishSealer(group string, epoch uint64, suite crypt.Suite) {
+	c.sealMu.RLock()
+	holder := c.sealers[group]
+	c.sealMu.RUnlock()
+	if holder == nil {
+		return
+	}
+	if suite == nil {
+		holder.Store(nil)
+		return
+	}
+	holder.Store(&sealState{epoch: epoch, suite: suite})
+}
+
+func (c *Conn) dropSealer(group string) {
+	c.sealMu.Lock()
+	delete(c.sealers, group)
+	c.sealMu.Unlock()
+	c.sent.clear()
 }
 
 // Leave voluntarily leaves a group; a SelfLeave event confirms it.
@@ -206,47 +381,51 @@ func (c *Conn) Leave(group string) error {
 
 // Multicast encrypts and authenticates data under the group's current
 // secret and sends it to the whole group.
+//
+// Sealing runs on the caller's goroutine against the epoch-pinned key
+// snapshot published by the event loop — no loop round-trip per message,
+// so senders pipeline against delivery instead of running in lockstep with
+// it. A rekey racing this send is resolved by the receiver: the envelope
+// carries the sealing epoch, and epoch-tagged open buffers frames from a
+// newer key and warns on frames from an older one (exactly the window that
+// existed when sealing ran on the loop, since the flush send below was
+// already outside it).
 func (c *Conn) Multicast(group string, data []byte) error {
-	var (
-		frame []byte
-		epoch uint64
-		err   error
-	)
-	if doErr := c.do(func() { frame, epoch, err = c.seal(group, data) }); doErr != nil {
-		return doErr
+	c.sealMu.RLock()
+	holder := c.sealers[group]
+	c.sealMu.RUnlock()
+	if holder == nil {
+		return fmt.Errorf("%w: %s", ErrNoGroup, group)
 	}
+	st := holder.Load()
+	if st == nil {
+		return fmt.Errorf("%w: %s", ErrNotSecured, group)
+	}
+	// Seal into a pooled buffer: the envelope encoder copies the frame
+	// into its own pooled output, so this buffer recycles immediately.
+	frame, err := crypt.SealAppend(st.suite, wirecodec.GetBuf(), data)
 	if err != nil {
+		wirecodec.PutBuf(frame)
 		return err
-	}
-	enc, err := encodeEnvelopeExt(&envelope{Kind: envData, Epoch: epoch, Frame: frame},
-		c.envSendExt(group, envData))
-	if err != nil {
-		return err
-	}
-	return c.f.Multicast(spread.Agreed, group, enc)
-}
-
-func (c *Conn) seal(group string, data []byte) ([]byte, uint64, error) {
-	g, ok := c.groups[group]
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: %s", ErrNoGroup, group)
-	}
-	if !g.secured() {
-		return nil, 0, fmt.Errorf("%w: %s", ErrNotSecured, group)
-	}
-	frame, err := g.suite.Seal(data)
-	if err != nil {
-		return nil, 0, err
 	}
 	// The first encrypted send under a fresh key closes the causal chain:
 	// view -> flush -> key agreement -> key install -> first send.
-	if g.firstSendEpoch != g.key.Epoch {
-		g.firstSendEpoch = g.key.Epoch
+	if st.firstSend.CompareAndSwap(false, true) {
 		c.obs.Record(obs.Event{Comp: "core", Kind: "first-send",
-			Group: group, KeyEpoch: g.key.Epoch,
+			Group: group, KeyEpoch: st.epoch,
 			Detail: fmt.Sprintf("bytes=%d", len(data))})
 	}
-	return frame, g.key.Epoch, nil
+	enc, err := encodeEnvelopeExt(&envelope{Kind: envData, Epoch: st.epoch, Frame: frame},
+		c.envClockExt())
+	if err != nil {
+		wirecodec.PutBuf(frame)
+		return err
+	}
+	// Remember the sealed frame so our own AGREED loopback delivery can
+	// reuse the plaintext instead of opening bytes we just produced.
+	c.sent.remember(frame, data)
+	wirecodec.PutBuf(frame)
+	return c.f.Multicast(spread.Agreed, group, enc)
 }
 
 // KeyRefresh requests a fresh group secret without a membership change. A
@@ -403,6 +582,7 @@ func (c *Conn) dispatch(ev flush.Event) {
 		if g, ok := c.groups[e.Group]; ok {
 			g.proto.Dissolve()
 			delete(c.groups, e.Group)
+			c.dropSealer(e.Group)
 			c.emit(SelfLeave{Group: e.Group})
 		}
 	case flush.Data:

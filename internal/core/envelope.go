@@ -70,6 +70,25 @@ func envKindName(k int) string {
 	}
 }
 
+// envKindDetail is "kind=" + envKindName(k) without the per-call
+// concatenation: the envelope trace hot path stamps it on every frame.
+func envKindDetail(k int) string {
+	switch k {
+	case envAnnounce:
+		return "kind=announce"
+	case envKGA:
+		return "kind=kga"
+	case envData:
+		return "kind=data"
+	case envRefreshStart:
+		return "kind=refresh-start"
+	case envRefreshRequest:
+		return "kind=refresh-req"
+	default:
+		return "kind=" + envKindName(k)
+	}
+}
+
 // encodeEnvelope uses the binary wire codec; decodeEnvelope falls back to
 // gob for frames produced by older builds (version dispatch on the first
 // byte, see internal/wirecodec).
@@ -80,7 +99,9 @@ func encodeEnvelope(e *envelope) ([]byte, error) {
 // encodeEnvelopeExt is encodeEnvelope with a causal-tracing extension in
 // the versioned preamble; the body is byte-identical to a V1 frame.
 func encodeEnvelopeExt(e *envelope, ext *wirecodec.Ext) ([]byte, error) {
-	b := wirecodec.AppendPreambleExt(nil, ext)
+	// Sized up front: the ciphertext frame dominates the envelope, and
+	// letting append grow from nil re-copies it several times per message.
+	b := wirecodec.AppendPreambleExt(make([]byte, 0, len(e.Frame)+96), ext)
 	b = wirecodec.AppendInt(b, int64(e.Kind))
 	if e.Ann == nil {
 		b = append(b, 0)

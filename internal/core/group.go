@@ -69,11 +69,9 @@ type groupCtx struct {
 	// Observability: rekeyStart stamps when the current rekey began (view
 	// arrival or refresh start) and rekeyClass labels its membership-event
 	// type for the latency histogram ("join", "cascade", "refresh", ...).
-	// firstSendEpoch remembers the newest epoch an application frame was
-	// sealed under, closing the causal chain with a first-send event.
-	rekeyStart     time.Time
-	rekeyClass     string
-	firstSendEpoch uint64
+	// The once-per-epoch first-send event lives in the edge sealState.
+	rekeyStart time.Time
+	rekeyClass string
 	// kgaSeq numbers the protocol engine's trace events within the
 	// current rekey ("round=N"), reset whenever a new rekey begins.
 	kgaSeq int
@@ -104,6 +102,9 @@ func (g *groupCtx) onView(v spread.ViewEvent) {
 	vv := v
 	g.view = &vv
 	g.phase = phaseAnnouncing
+	// Revoke the edge-sealing snapshot: senders fail ErrNotSecured until
+	// the new view's key installs, exactly like the loop-side phase check.
+	g.conn.publishSealer(g.name, 0, nil)
 	g.anns = make(map[string]*announceBody, len(v.Members))
 	g.ops = nil
 	g.fullRekey = false
@@ -449,6 +450,7 @@ func (g *groupCtx) onKeyEstablished(k *kga.GroupKey) {
 	g.suite = suite
 	g.phase = phaseSecured
 	g.keyBorn = time.Now()
+	g.conn.publishSealer(g.name, k.Epoch, suite)
 
 	class := g.rekeyClass
 	if class == "" {
@@ -521,6 +523,16 @@ func (g *groupCtx) onData(from string, epoch uint64, frame []byte) {
 }
 
 func (g *groupCtx) openFrame(from string, frame []byte) {
+	// Our own loopback: an exact match against the sent-frame cache is
+	// ciphertext identity, so the retained plaintext stands in for the
+	// open. A miss (evicted, or a frame from before a restart) falls
+	// through to the normal authenticated open.
+	if from == g.conn.Name() {
+		if pt, ok := g.conn.sent.take(frame); ok {
+			g.conn.emit(Message{Group: g.name, Sender: from, Data: pt})
+			return
+		}
+	}
 	pt, err := g.suite.Open(frame)
 	if err != nil {
 		g.conn.warn(g.name, fmt.Errorf("frame from %s: %w", from, err))

@@ -104,7 +104,9 @@ func encodeMsg(m *flushMsg) ([]byte, error) {
 // sender's HLC stamp and send-event reference travel in the versioned
 // preamble, so the body stays byte-identical to a V1 frame.
 func encodeMsgExt(m *flushMsg, ext *wirecodec.Ext) ([]byte, error) {
-	b := wirecodec.AppendPreambleExt(nil, ext)
+	// Sized up front: the sealed payload dominates the frame, and letting
+	// append grow from nil re-copies it several times per message.
+	b := wirecodec.AppendPreambleExt(make([]byte, 0, len(m.Data)+64), ext)
 	b = wirecodec.AppendInt(b, int64(m.Kind))
 	b = wirecodec.AppendUvarint(b, m.View.DaemonView.Epoch)
 	b = wirecodec.AppendString(b, m.View.DaemonView.Coord)
@@ -173,10 +175,16 @@ type Conn struct {
 type groupState struct {
 	// current is the installed VS view; nil before the first install.
 	current *spread.ViewEvent
-	// pending is the membership change being flushed.
-	pending *spread.ViewEvent
-	okSent  bool
-	oks     map[string]bool
+	// currentStr caches current.ID.String(): the data fast path stamps
+	// every trace event with the view ID, and formatting it per message
+	// dominated the send profile. It changes only on view installs.
+	currentStr string
+	// pending is the membership change being flushed; pendingStr caches
+	// its formatted ID the same way.
+	pending    *spread.ViewEvent
+	pendingStr string
+	okSent     bool
+	oks        map[string]bool
 	// buffered holds messages tagged with the pending view, sent by
 	// members that installed it before us.
 	buffered []Data
@@ -241,10 +249,11 @@ func (f *Conn) FlushOK(group string) error {
 	}
 	g.okSent = true
 	id := g.pending.ID
+	idStr := g.pendingStr
 	f.mu.Unlock()
 
 	enc, err := encodeMsgExt(&flushMsg{Kind: wireFlushOK, View: id},
-		f.wireSendExt("flush-ok", group, fmt.Sprintf("%v", id)))
+		f.wireSendExt("flush-ok", group, idStr))
 	if err != nil {
 		return err
 	}
@@ -285,9 +294,10 @@ func (f *Conn) sealSend(group string, svc spread.Service, data []byte) ([]byte, 
 		return nil, fmt.Errorf("%w: %s", ErrFlushing, group)
 	}
 	id := g.current.ID
+	idStr := g.currentStr
 	f.mu.Unlock()
 	return encodeMsgExt(&flushMsg{Kind: wireData, View: id, Service: svc, Data: data},
-		f.wireSendExt("data", group, fmt.Sprintf("%v", id)))
+		f.wireSendExt("data", group, idStr))
 }
 
 // wireSendExt records a flush-layer wire-send trace event and returns
@@ -359,6 +369,7 @@ func (f *Conn) onView(v spread.ViewEvent) {
 	// layer's key-agreement restart.
 	vv := v
 	g.pending = &vv
+	g.pendingStr = vv.ID.String()
 	g.okSent = false
 	g.oks = make(map[string]bool)
 	g.buffered = nil
@@ -414,10 +425,13 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 	}
 	// Install the VS view.
 	installed := *g.pending
+	installedStr := g.pendingStr
 	buffered := g.buffered
 	started := g.flushStart
 	g.current = g.pending
+	g.currentStr = g.pendingStr
 	g.pending = nil
+	g.pendingStr = ""
 	g.okSent = false
 	g.oks = nil
 	g.buffered = nil
@@ -432,11 +446,11 @@ func (f *Conn) onFlushOK(e spread.DataEvent, m *flushMsg) {
 		f.obs.Reg.Observe("flush_round_duration", round)
 	}
 	f.obs.Record(obs.Event{Comp: "flush", Kind: "vs-view-install",
-		Group: installed.Group, View: fmt.Sprintf("%v", installed.ID),
+		Group: installed.Group, View: installedStr,
 		Detail: fmt.Sprintf("reason=%v members=%v round=%v", installed.Reason, installed.MemberNames(), round)})
 	f.deliver(View{Info: installed})
 	for _, d := range buffered {
-		f.recordDeliver(d, fmt.Sprintf("%v", installed.ID))
+		f.recordDeliver(d, installedStr)
 		f.deliver(d)
 	}
 }
@@ -460,8 +474,9 @@ func (f *Conn) onAppData(e spread.DataEvent, m *flushMsg, parent *obs.EventRef) 
 	}
 	switch {
 	case g.current != nil && g.current.ID == m.View:
+		viewStr := g.currentStr
 		f.mu.Unlock()
-		f.recordDeliver(d, fmt.Sprintf("%v", m.View))
+		f.recordDeliver(d, viewStr)
 		f.deliver(d)
 	case g.pending != nil && g.pending.ID == m.View:
 		// Sent by a member that installed the pending view before us;

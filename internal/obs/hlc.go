@@ -114,6 +114,27 @@ func (c *Clock) Tick() HLC {
 	return c.last
 }
 
+// TickFrom is Tick with the physical reading derived from a wall-clock
+// value the caller already holds, sparing hot paths a second host clock
+// read. The test hooks (now override, offset skew) still apply.
+func (c *Clock) TickFrom(t time.Time) HLC {
+	if c == nil {
+		return HLC{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pt := t.Add(c.offset).UnixMicro()
+	if c.now != nil {
+		pt = c.now()
+	}
+	if pt > c.last.Wall {
+		c.last = HLC{Wall: pt}
+	} else {
+		c.last.Logical++
+	}
+	return c.last
+}
+
 // Observe merges a remote stamp and issues the stamp for the receive
 // event: strictly after both the remote stamp and every stamp this
 // clock issued before. A zero remote stamp degenerates to Tick.
@@ -135,6 +156,21 @@ func (c *Clock) Observe(remote HLC) HLC {
 		c.last = HLC{Wall: c.last.Wall, Logical: max(c.last.Logical, remote.Logical) + 1}
 	}
 	return c.last
+}
+
+// Merge folds a remote stamp into the clock without issuing one: receive
+// sites that record no event of their own only need every later local
+// stamp to order after the remote. It skips the physical clock read —
+// the next issued stamp samples it.
+func (c *Clock) Merge(remote HLC) {
+	if c == nil || remote.IsZero() {
+		return
+	}
+	c.mu.Lock()
+	if remote.Compare(c.last) > 0 {
+		c.last = remote
+	}
+	c.mu.Unlock()
 }
 
 // Now reads the current stamp without advancing it (diagnostics only).

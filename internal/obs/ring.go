@@ -127,7 +127,9 @@ func (r *Recorder) Observe(h HLC) {
 	if r == nil || h.IsZero() {
 		return
 	}
-	r.clock.Observe(h)
+	// Merge-only: every Observe caller that records a receive event does
+	// so through Record, whose clock tick orders it after the merge.
+	r.clock.Merge(h)
 }
 
 // Cap returns the ring capacity.
@@ -162,7 +164,9 @@ func (r *Recorder) Record(ev Event) Event {
 		ev.Node = r.node
 	}
 	if ev.HLC.IsZero() {
-		ev.HLC = r.clock.Tick()
+		// Reuse the wall reading above instead of a second host clock
+		// read; the HLC's logical counter absorbs a stale stamp.
+		ev.HLC = r.clock.TickFrom(ev.T)
 	}
 	r.mu.Lock()
 	r.next++

@@ -23,8 +23,8 @@ func (d *Daemon) wireSendExt(kind msgKind) *wirecodec.Ext {
 	ev := d.obs.Record(obs.Event{
 		Comp:   "spread",
 		Kind:   "wire-send",
-		View:   d.view.ID.String(),
-		Detail: "kind=" + kindName(kind),
+		View:   d.viewStr,
+		Detail: kindDetail(kind),
 	})
 	return &wirecodec.Ext{From: ev.Ref(), HLC: ev.HLC}
 }
@@ -55,8 +55,8 @@ func (d *Daemon) observeWireExt(from string, kind msgKind, ext *wirecodec.Ext) {
 		Comp:   "spread",
 		Kind:   "wire-recv",
 		Parent: &parent,
-		View:   d.view.ID.String(),
-		Detail: "kind=" + kindName(kind) + " from=" + from,
+		View:   d.viewStr,
+		Detail: kindDetail(kind) + " from=" + from,
 	})
 }
 

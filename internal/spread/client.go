@@ -38,6 +38,13 @@ type Client struct {
 
 	events chan Event
 
+	// ring is the client's bounded submit queue: data operations are
+	// pushed here and drained in batches by the daemon loop, instead of
+	// paying a synchronous do() rendezvous per message. Control ops
+	// (join/leave/disconnect) stay synchronous and flush the ring first,
+	// so the client's FIFO order is preserved across both paths.
+	ring *submitRing
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	errMu     sync.Mutex
@@ -59,6 +66,7 @@ func (d *Daemon) Connect(user string) (*Client, error) {
 		d:        d,
 		name:     user + "#" + d.name,
 		events:   make(chan Event, d.cfg.ClientBuffer),
+		ring:     newSubmitRing(d.cfg.SubmitBuffer),
 		closed:   make(chan struct{}),
 		lastSeen: make(map[string][]string),
 	}
@@ -171,6 +179,12 @@ func (c *Client) Disconnect() error {
 // op submits a client operation to the daemon loop. Operations during a
 // daemon membership change or group state exchange are queued and replayed
 // once the configuration stabilizes.
+//
+// Data operations take the fast path: push into the client's bounded ring
+// (blocking while full — backpressure without the per-message rendezvous)
+// and wake the daemon at most once per outstanding batch. Control ops stay
+// synchronous through do(), draining the ring first so the two paths never
+// reorder against each other.
 func (c *Client) op(p payload) error {
 	select {
 	case <-c.closed:
@@ -180,9 +194,26 @@ func (c *Client) op(p payload) error {
 		return ErrDisconnected
 	default:
 	}
+	if p.Kind == payClientData {
+		notify, err := c.ring.push(p)
+		if err != nil {
+			if cerr := c.Err(); cerr != nil {
+				return cerr
+			}
+			return err
+		}
+		if notify {
+			c.d.notifySubmit(c)
+		}
+		return nil
+	}
 	return c.d.do(func() {
 		if _, ok := c.d.clients[c.name]; !ok {
 			return // disconnected concurrently
+		}
+		c.d.drainClientRing(c) // queued data precedes the control op
+		if _, ok := c.d.clients[c.name]; !ok {
+			return // a drained payload disconnected the client
 		}
 		c.d.submit(p)
 	})
@@ -228,9 +259,15 @@ func (d *Daemon) emit(c *Client, ev Event) {
 // disconnectClient removes a client and announces its departure from every
 // group it belonged to. Runs on the daemon loop.
 func (d *Daemon) disconnectClient(c *Client, cause error) {
-	if _, ok := d.clients[c.name]; !ok {
+	if d.clients[c.name] != c {
 		c.close(cause)
 		return
+	}
+	// Flush queued data ahead of the departure announcements so the
+	// client's final messages keep their FIFO position before its leaves.
+	d.drainClientRing(c)
+	if d.clients[c.name] != c {
+		return // a drained payload already disconnected the client
 	}
 	delete(d.clients, c.name)
 	d.counters.clientsGauge.Set(int64(len(d.clients)))
@@ -261,6 +298,7 @@ func (c *Client) close(cause error) {
 		c.errMu.Lock()
 		c.err = cause
 		c.errMu.Unlock()
+		c.ring.close() // wake any sender blocked on backpressure
 		close(c.closed)
 		close(c.events)
 	})

@@ -73,13 +73,13 @@ func (c *Cluster) viewsAgree(daemons []*Daemon) bool {
 	if len(daemons) == 0 {
 		return true
 	}
-	ref := daemons[0].CurrentView()
-	if len(ref.Members) != len(daemons) {
+	ref, ok := daemons[0].CurrentView()
+	if !ok || len(ref.Members) != len(daemons) {
 		return false
 	}
 	for _, d := range daemons {
-		v := d.CurrentView()
-		if v.ID != ref.ID || len(v.Members) != len(ref.Members) {
+		v, ok := d.CurrentView()
+		if !ok || v.ID != ref.ID || len(v.Members) != len(ref.Members) {
 			return false
 		}
 		for i := range v.Members {

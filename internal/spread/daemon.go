@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -36,7 +37,11 @@ type Daemon struct {
 
 	// --- everything below is owned by the event loop ---
 
-	view     View
+	view View
+	// viewStr caches view.ID.String(): the data fast path stamps every
+	// wire trace event with it, and formatting it per message is
+	// measurable. It changes only on view installs.
+	viewStr  string
 	maxEpoch uint64
 	lts      uint64
 	seq      uint64
@@ -46,9 +51,22 @@ type Daemon struct {
 	stable    map[string]uint64
 
 	deliveredSeq map[string]uint64
-	pending      map[string][]*dataMsg // per sender, sorted by seq
+	pending      map[string]*msgQueue // per sender, sorted by seq
 	retained     map[msgKey]*dataMsg
+	// retainedQ mirrors retained in insertion order. Agreed delivery is
+	// LTS order, so the stability sweep pops an ordered prefix instead of
+	// scanning the whole map every tick; retainedHead marks the consumed
+	// prefix (compacted, never resliced, so no q = q[1:] retention).
+	retainedQ    []msgKey
+	retainedHead int
 	futureMsgs   []*dataMsg // data for views not yet installed
+
+	// AGREED delivery candidates: every contiguous, ordered queue head is
+	// registered here keyed (LTS, sender), so delivering the next agreed
+	// message is a heap pop instead of a scan over every sender. agreedSeq
+	// remembers which seq per sender is registered (dedup + lazy deletion).
+	agreed    agreedHeap
+	agreedSeq map[string]uint64
 
 	// Per-sender gap-free prefix of the current view's sequence space:
 	// contigSeq is the highest seq through which every message has been
@@ -80,6 +98,19 @@ type Daemon struct {
 	clientGroups map[string]map[string]bool
 
 	lastEcho time.Time
+
+	// Submit-ring plumbing: clients push data payloads into their own
+	// bounded ring and ask (at most once per outstanding drain) for a
+	// wake-up here; the event loop drains whole batches. subMu guards
+	// subReady; subCh carries the level-triggered wake-up.
+	subMu      sync.Mutex
+	subReady   []*Client
+	subCh      chan struct{}
+	subScratch []payload // loop-owned drain buffer, reused across batches
+
+	// deliverHook, when set, observes every delivered message before its
+	// payload is processed (differential ordering tests).
+	deliverHook func(*dataMsg)
 
 	obs      *obs.Scope
 	log      *obs.Logger
@@ -145,7 +176,9 @@ func NewDaemon(name string, peers []string, net transport.Network, cfg Config) (
 		seenLTS:      make(map[string]uint64),
 		stable:       make(map[string]uint64),
 		deliveredSeq: make(map[string]uint64),
-		pending:      make(map[string][]*dataMsg),
+		pending:      make(map[string]*msgQueue),
+		agreedSeq:    make(map[string]uint64),
+		subCh:        make(chan struct{}, 1),
 		retained:     make(map[msgKey]*dataMsg),
 		contigSeq:    make(map[string]uint64),
 		contigLTS:    make(map[string]uint64),
@@ -172,6 +205,7 @@ func NewDaemon(name string, peers []string, net transport.Network, cfg Config) (
 	// Start in a singleton view.
 	d.maxEpoch = 1
 	d.view = View{ID: ViewID{Epoch: 1, Coord: name}, Members: []string{name}}
+	d.viewStr = d.view.ID.String()
 	d.stateWait = map[string]bool{}
 	d.stateEntries = map[string][]stateEntry{}
 	d.stateSeqs = map[string]uint64{}
@@ -199,14 +233,16 @@ func (d *Daemon) Stop() {
 }
 
 // CurrentView returns the daemon's installed view (for tests and tools).
-func (d *Daemon) CurrentView() View {
+// ok is false when the daemon has stopped — a zero View is then a liveness
+// signal, not an empty membership.
+func (d *Daemon) CurrentView() (view View, ok bool) {
 	ch := make(chan View, 1)
 	if err := d.do(func() {
 		ch <- View{ID: d.view.ID, Members: slices.Clone(d.view.Members)}
 	}); err != nil {
-		return View{}
+		return View{}, false
 	}
-	return <-ch
+	return <-ch, true
 }
 
 // do runs fn on the event loop and waits for it to be picked up.
@@ -299,19 +335,86 @@ func (d *Daemon) run() {
 			d.shutdownClients()
 			return
 		case in := <-d.inbox:
-			msg, ext, err := decodeWireExt(in.data)
-			if err != nil {
-				continue // corrupt frame: drop
+			// One clock read covers the whole burst below: liveness
+			// tracking needs heartbeat-granularity timestamps, not a
+			// monotonic read per data frame.
+			now := time.Now()
+			d.handleInbound(in, now)
+			// Opportunistically drain a bounded burst of queued frames:
+			// under bulk load this amortizes the select overhead without
+			// starving acts, submits, or the ticker.
+			for i := 0; i < 128; i++ {
+				select {
+				case in = <-d.inbox:
+					d.handleInbound(in, now)
+				default:
+					i = 128
+				}
 			}
-			d.counters.countRecv(msg.Kind, len(in.data))
-			d.observeWireExt(in.from, msg.Kind, ext)
-			d.dispatch(in.from, msg)
+		case <-d.subCh:
+			d.drainSubmits()
 		case fn := <-d.acts:
 			fn()
 		case <-ticker.C:
 			d.tick()
 		}
 	}
+}
+
+func (d *Daemon) handleInbound(in inboundMsg, now time.Time) {
+	msg, ext, err := decodeWireExt(in.data)
+	if err != nil {
+		return // corrupt frame: drop
+	}
+	d.counters.countRecv(msg.Kind, len(in.data))
+	d.observeWireExt(in.from, msg.Kind, ext)
+	d.dispatch(in.from, msg, now)
+}
+
+// notifySubmit marks a client's ring as ready and wakes the event loop.
+// Called from client goroutines; subCh is level-triggered (capacity 1).
+func (d *Daemon) notifySubmit(c *Client) {
+	d.subMu.Lock()
+	d.subReady = append(d.subReady, c)
+	d.subMu.Unlock()
+	select {
+	case d.subCh <- struct{}{}:
+	default:
+	}
+}
+
+// drainSubmits runs on the event loop: it claims the ready list and drains
+// each client's submit ring in batch.
+func (d *Daemon) drainSubmits() {
+	d.subMu.Lock()
+	ready := d.subReady
+	d.subReady = nil
+	d.subMu.Unlock()
+	for _, c := range ready {
+		d.drainClientRing(c)
+	}
+}
+
+// drainClientRing flushes every queued data payload from one client's ring
+// through the normal submit path, preserving the client's FIFO order. A
+// payload processed here can re-enter this function (a delivery can
+// overflow an event queue and disconnect the client), so the scratch
+// buffer is claimed for the duration — a nested drain allocates its own.
+func (d *Daemon) drainClientRing(c *Client) {
+	if c.ring == nil {
+		return
+	}
+	scratch := d.subScratch
+	d.subScratch = nil
+	batch := c.ring.drain(scratch[:0])
+	for i := range batch {
+		if d.clients[c.name] != c {
+			break // disconnected mid-batch: the rest is undeliverable
+		}
+		d.submit(batch[i])
+	}
+	clear(batch)
+	d.subScratch = batch[:0]
 }
 
 func (d *Daemon) shutdownClients() {
@@ -321,8 +424,8 @@ func (d *Daemon) shutdownClients() {
 	d.clients = map[string]*Client{}
 }
 
-func (d *Daemon) dispatch(from string, m *wireMsg) {
-	d.lastHeard[from] = time.Now()
+func (d *Daemon) dispatch(from string, m *wireMsg, now time.Time) {
+	d.lastHeard[from] = now
 	switch m.Kind {
 	case kindHeartbeat:
 		d.onHeartbeat(from, m.HB)
@@ -429,10 +532,24 @@ func (d *Daemon) gcRetained() {
 		return
 	}
 	h := d.stabilityHorizon()
-	for k, m := range d.retained {
-		if m.LTS <= h {
+	// Delivery order is LTS order, so retainedQ's stable prefix is
+	// exactly the entries at or below the horizon: pop until the first
+	// survivor, O(deleted) per tick instead of O(retained).
+	for d.retainedHead < len(d.retainedQ) {
+		k := d.retainedQ[d.retainedHead]
+		if m, ok := d.retained[k]; ok {
+			if m.LTS > h {
+				break
+			}
 			delete(d.retained, k)
 		}
+		d.retainedHead++
+	}
+	if d.retainedHead == len(d.retainedQ) {
+		d.retainedQ, d.retainedHead = d.retainedQ[:0], 0
+	} else if d.retainedHead >= 64 && d.retainedHead > len(d.retainedQ)/2 {
+		n := copy(d.retainedQ, d.retainedQ[d.retainedHead:])
+		d.retainedQ, d.retainedHead = d.retainedQ[:n], 0
 	}
 	d.counters.retainedGauge.Set(int64(len(d.retained)))
 }
@@ -512,8 +629,11 @@ func (d *Daemon) broadcastData(p payload) {
 	}
 	// One pooled encode of the inner frame; under daemon keying it is
 	// sealed and wrapped in place (secSealEncode) rather than re-encoded,
-	// so the seal→encode→send chain copies the payload once.
-	inner, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m}, d.wireSendExt(kindData))
+	// so the seal→encode→send chain copies the payload once. Data frames
+	// propagate the clock without recording a trace event: the causal
+	// chain the checkers rely on rides the flush layer's send→deliver
+	// edge, and two ring writes per message are measurable at bulk rates.
+	inner, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m}, d.clockExt())
 	if err == nil {
 		enc, kind := inner, kindData
 		var sealed []byte
@@ -555,7 +675,10 @@ func (d *Daemon) onData(m *dataMsg) {
 		return
 	}
 	d.acceptData(m)
-	d.tryDeliver()
+	// Only this sender's FIFO chain and the agreed heap can have been
+	// unblocked; no need to rescan every sender.
+	d.deliverReady(m.Sender)
+	d.drainAgreed()
 	// Agreed-class delivery waits until every member's clock passes the
 	// message timestamp. Echo a heartbeat immediately (rate-limited) so
 	// idle members advance the horizon in one round trip rather than one
@@ -568,12 +691,7 @@ func (d *Daemon) onData(m *dataMsg) {
 // hasPendingOrdered reports whether any agreed-class message is awaiting
 // the delivery horizon.
 func (d *Daemon) hasPendingOrdered() bool {
-	for _, q := range d.pending {
-		if len(q) > 0 && q[0].ordered() {
-			return true
-		}
-	}
-	return false
+	return d.agreed.len() > 0
 }
 
 // echoHeartbeat sends an out-of-schedule heartbeat to the view members,
@@ -619,20 +737,15 @@ func (d *Daemon) acceptData(m *dataMsg) {
 		return
 	}
 	q := d.pending[m.Sender]
-	pos, found := sort.Find(len(q), func(i int) int {
-		switch {
-		case m.Seq < q[i].Seq:
-			return -1
-		case m.Seq > q[i].Seq:
-			return 1
-		default:
-			return 0
-		}
-	})
+	if q == nil {
+		q = &msgQueue{}
+		d.pending[m.Sender] = q
+	}
+	pos, found := q.search(m.Seq)
 	if found {
 		return
 	}
-	d.pending[m.Sender] = slices.Insert(q, pos, m)
+	q.insert(pos, m)
 	d.advanceContig(m.Sender)
 }
 
@@ -643,13 +756,14 @@ func (d *Daemon) advanceContig(sender string) {
 	cs := d.contigSeq[sender]
 	lts := d.contigLTS[sender]
 	q := d.pending[sender]
-	i := 0
-	for i < len(q) && q[i].Seq <= cs {
-		i++ // counted already, awaiting the delivery horizon
-	}
-	for i < len(q) && q[i].Seq == cs+1 {
+	n := q.len()
+	// Binary-search past the already-counted prefix (entries awaiting the
+	// delivery horizon): with a deep backlog a linear skip here turns every
+	// insert into an O(backlog) walk.
+	i, _ := q.search(cs + 1)
+	for i < n && q.at(i).Seq == cs+1 {
 		cs++
-		lts = q[i].LTS
+		lts = q.at(i).LTS
 		i++
 	}
 	d.contigSeq[sender] = cs
@@ -657,10 +771,10 @@ func (d *Daemon) advanceContig(sender string) {
 	if lts > d.seenLTS[sender] {
 		d.seenLTS[sender] = lts
 	}
-	if i < len(q) {
+	if i < n {
 		// Entries beyond the prefix mean the link dropped the sequence
 		// numbers in between.
-		d.requestMissing(sender, sender, cs+1, q[i].Seq-1)
+		d.requestMissing(sender, sender, cs+1, q.at(i).Seq-1)
 	}
 }
 
@@ -705,11 +819,8 @@ func (d *Daemon) onNack(from string, n *nackMsg) {
 	for seq := n.From; seq <= upto; seq++ {
 		m := d.retained[msgKey{Sender: n.Sender, Seq: seq}]
 		if m == nil {
-			for _, pm := range d.pending[n.Sender] {
-				if pm.Seq == seq {
-					m = pm
-					break
-				}
+			if q := d.pending[n.Sender]; q != nil {
+				m = q.find(seq)
 			}
 		}
 		if m == nil {
@@ -722,7 +833,7 @@ func (d *Daemon) onNack(from string, n *nackMsg) {
 // resendData re-sends one data message to a single daemon, sealed exactly
 // like the original broadcast when daemon keying is on.
 func (d *Daemon) resendData(to string, m *dataMsg) {
-	inner, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m}, d.wireSendExt(kindData))
+	inner, err := encodeWireExtTo(wirecodec.GetBuf(), &wireMsg{Kind: kindData, Data: m}, d.clockExt())
 	if err != nil {
 		wirecodec.PutBuf(inner)
 		return
@@ -744,53 +855,97 @@ func (d *Daemon) resendData(to string, m *dataMsg) {
 // tryDeliver delivers every message whose ordering constraints are met:
 // per-sender contiguous sequence numbers always; for AGREED-class traffic,
 // global (LTS, sender) order up to the horizon every member has passed.
+// It is the full rescan used by horizon advances and view transitions; the
+// per-message hot path calls deliverReady/drainAgreed directly.
 func (d *Daemon) tryDeliver() {
-	for {
-		progressed := false
+	for sender := range d.pending {
+		d.deliverReady(sender)
+	}
+	d.drainAgreed()
+}
 
-		// FIFO-class heads deliver as soon as they are contiguous.
-		for sender, q := range d.pending {
-			for len(q) > 0 && q[0].Seq == d.deliveredSeq[sender]+1 && !q[0].ordered() {
-				d.deliver(q[0])
-				q = q[1:]
-				progressed = true
-			}
-			d.pending[sender] = q
-		}
-
-		// AGREED-class heads deliver in (LTS, sender) order once every
-		// view member's clock has passed their timestamp.
-		horizon := d.receiveHorizon()
-		var best *dataMsg
-		for sender, q := range d.pending {
-			if len(q) == 0 || q[0].Seq != d.deliveredSeq[sender]+1 {
-				continue
-			}
-			m := q[0]
-			if m.LTS > horizon {
-				continue
-			}
-			if best == nil || m.LTS < best.LTS || (m.LTS == best.LTS && m.Sender < best.Sender) {
-				best = m
-			}
-		}
-		if best != nil {
-			d.pending[best.Sender] = d.pending[best.Sender][1:]
-			d.deliver(best)
-			progressed = true
-		}
-		if !progressed {
+// deliverReady drains one sender's queue as far as ordering allows:
+// FIFO-class heads deliver as soon as they are contiguous; the first
+// contiguous AGREED-class head is registered in the heap (it must also
+// wait for the delivery horizon) and drainAgreed takes over from there.
+func (d *Daemon) deliverReady(sender string) {
+	q := d.pending[sender]
+	if q == nil {
+		return
+	}
+	for q.len() > 0 {
+		m := q.front()
+		if m.Seq != d.deliveredSeq[sender]+1 {
 			return
 		}
+		if m.ordered() {
+			if d.agreedSeq[sender] != m.Seq {
+				d.agreedSeq[sender] = m.Seq
+				d.agreed.push(agreedEntry{lts: m.LTS, sender: sender, seq: m.Seq})
+			}
+			return
+		}
+		q.popFront()
+		d.deliver(m)
 	}
+}
+
+// drainAgreed delivers AGREED-class heads in global (LTS, sender) order up
+// to the receive horizon: repeated heap pops instead of per-message scans
+// over every sender. Entries are validated against live queue state when
+// popped; stale ones (superseded by a view flush race or re-registration)
+// are simply discarded. The horizon is cached and recomputed only when the
+// top entry sits beyond it — deliveries advance clocks monotonically, so a
+// recheck can only widen it.
+func (d *Daemon) drainAgreed() {
+	if d.agreed.len() == 0 {
+		return
+	}
+	horizon := d.receiveHorizon()
+	for d.agreed.len() > 0 {
+		top := d.agreed.peek()
+		if top.lts > horizon {
+			horizon = d.receiveHorizon()
+			if top.lts > horizon {
+				return
+			}
+		}
+		d.agreed.pop()
+		if d.agreedSeq[top.sender] == top.seq {
+			delete(d.agreedSeq, top.sender)
+		}
+		q := d.pending[top.sender]
+		if q == nil || q.len() == 0 {
+			continue
+		}
+		m := q.front()
+		if m.Seq != top.seq || m.Seq != d.deliveredSeq[top.sender]+1 || !m.ordered() {
+			continue // stale entry
+		}
+		q.popFront()
+		d.deliver(m)
+		d.deliverReady(top.sender) // re-register the sender's next head
+	}
+}
+
+// resetDelivery clears the pending queues and the agreed heap (view
+// installs start the new view's sequence space from scratch).
+func (d *Daemon) resetDelivery() {
+	d.pending = make(map[string]*msgQueue)
+	d.agreed = d.agreed[:0]
+	d.agreedSeq = make(map[string]uint64)
 }
 
 // deliver commits a message: it is retained for view-change recovery and
 // its payload is processed (or buffered during a state exchange).
 func (d *Daemon) deliver(m *dataMsg) {
+	if d.deliverHook != nil {
+		d.deliverHook(m)
+	}
 	d.counters.msgsDelivered.Inc()
 	d.deliveredSeq[m.Sender] = m.Seq
 	d.retained[m.key()] = m
+	d.retainedQ = append(d.retainedQ, m.key())
 	d.counters.retainedGauge.Set(int64(len(d.retained)))
 	if len(d.stateWait) > 0 && m.P.Kind != payGroupState {
 		d.bufferedMsgs = append(d.bufferedMsgs, m)

@@ -216,8 +216,8 @@ func (d *Daemon) makeSyncAck() *syncAckMsg {
 		add(m)
 	}
 	for _, q := range d.pending {
-		for _, m := range q {
-			add(m)
+		for i := 0; i < q.len(); i++ {
+			add(q.at(i))
 		}
 	}
 	return ack
@@ -396,13 +396,15 @@ func (d *Daemon) installView(inst *installMsg) {
 		d.maxEpoch = inst.View.ID.Epoch
 	}
 	d.view = inst.View
+	d.viewStr = d.view.ID.String()
 	d.seq = 0
 	d.lts++ // view installation is an event on the clock
 	d.seenLTS = make(map[string]uint64)
 	d.stable = make(map[string]uint64)
 	d.deliveredSeq = make(map[string]uint64)
-	d.pending = make(map[string][]*dataMsg)
+	d.resetDelivery()
 	d.retained = make(map[msgKey]*dataMsg)
+	d.retainedQ, d.retainedHead = nil, 0
 	d.contigSeq = make(map[string]uint64)
 	d.contigLTS = make(map[string]uint64)
 	d.lastNack = make(map[string]time.Time)
@@ -447,7 +449,9 @@ func (d *Daemon) installView(inst *installMsg) {
 func (d *Daemon) flushOldView() {
 	var all []*dataMsg
 	for _, q := range d.pending {
-		all = append(all, q...)
+		for i := 0; i < q.len(); i++ {
+			all = append(all, q.at(i))
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].LTS != all[j].LTS {
@@ -466,7 +470,7 @@ func (d *Daemon) flushOldView() {
 		}
 		d.deliver(m)
 	}
-	d.pending = make(map[string][]*dataMsg)
+	d.resetDelivery()
 }
 
 // localStateEntries describes this daemon's local clients' memberships for

@@ -116,7 +116,10 @@ func waitMembers(t *testing.T, c *Client, group string, want []string) ViewEvent
 
 func TestClusterStabilizes(t *testing.T) {
 	c := newTestCluster(t, 3)
-	v := c.Daemons[0].CurrentView()
+	v, ok := c.Daemons[0].CurrentView()
+	if !ok {
+		t.Fatal("daemon stopped")
+	}
 	if len(v.Members) != 3 {
 		t.Fatalf("view has %d members, want 3", len(v.Members))
 	}

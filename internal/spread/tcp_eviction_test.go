@@ -17,15 +17,20 @@ func waitDaemonView(t *testing.T, d *Daemon, want []string, timeout time.Duratio
 	start := time.Now()
 	deadline := start.Add(timeout)
 	for time.Now().Before(deadline) {
-		got := slices.Clone(d.CurrentView().Members)
+		v, ok := d.CurrentView()
+		if !ok {
+			t.Fatalf("%s: daemon stopped while waiting for view", d.Name())
+		}
+		got := slices.Clone(v.Members)
 		slices.Sort(got)
 		if slices.Equal(got, w) {
 			return time.Since(start)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	last, _ := d.CurrentView()
 	t.Fatalf("%s: no view with members %v within %v (have %v)",
-		d.Name(), want, timeout, d.CurrentView().Members)
+		d.Name(), want, timeout, last.Members)
 	return 0
 }
 

@@ -237,6 +237,10 @@ type Config struct {
 	// fill it is forcibly disconnected, like Spread's slow-client
 	// handling.
 	ClientBuffer int
+	// SubmitBuffer is the per-client submit-ring depth: how many data
+	// operations a client may have queued toward the daemon loop before
+	// Multicast/Unicast block for backpressure. Zero means 1024.
+	SubmitBuffer int
 
 	// DaemonKeying enables the daemon security model (the paper's
 	// Section 5 alternative): the daemons of a view agree on a
@@ -266,6 +270,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClientBuffer == 0 {
 		c.ClientBuffer = 4096
+	}
+	if c.SubmitBuffer == 0 {
+		c.SubmitBuffer = 1024
 	}
 	return c
 }

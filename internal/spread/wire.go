@@ -57,6 +57,35 @@ func kindName(k msgKind) string {
 	}
 }
 
+// kindDetail is "kind=" + kindName(k) without the per-call concatenation:
+// the wire trace hot path stamps it on every frame.
+func kindDetail(k msgKind) string {
+	switch k {
+	case kindHeartbeat:
+		return "kind=heartbeat"
+	case kindData:
+		return "kind=data"
+	case kindPropose:
+		return "kind=propose"
+	case kindSync:
+		return "kind=sync"
+	case kindSyncAck:
+		return "kind=syncack"
+	case kindInstall:
+		return "kind=install"
+	case kindSecAnnounce:
+		return "kind=sec-announce"
+	case kindSecKGA:
+		return "kind=sec-kga"
+	case kindSecData:
+		return "kind=sec-data"
+	case kindNack:
+		return "kind=nack"
+	default:
+		return "kind=" + kindName(k)
+	}
+}
+
 // payloadKind classifies the content of a data message.
 type payloadKind int
 
